@@ -1,0 +1,152 @@
+// Command shdfinfo inspects SHDF files (the repository's HDF4-like
+// scientific format): it lists objects with their tags, refs, shapes and
+// sizes, resolves vgroup memberships, verifies checksums, and optionally
+// dumps dataset statistics — the counterpart of HDF's hdp/h4dump utilities
+// that scientists use to check what a simulation wrote.
+//
+// Usage:
+//
+//	shdfinfo [-stats] [-verify] file.shdf...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"godiva/internal/shdf"
+)
+
+func main() {
+	var (
+		stats  = flag.Bool("stats", false, "print min/max/mean for numeric datasets")
+		verify = flag.Bool("verify", false, "read every object and verify its checksum")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: shdfinfo [-stats] [-verify] file.shdf...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := dump(path, *stats, *verify); err != nil {
+			fmt.Fprintf(os.Stderr, "shdfinfo: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func dump(path string, stats, verify bool) error {
+	f, err := shdf.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	objs := f.Objects()
+	fmt.Printf("%s: %d objects\n", path, len(objs))
+
+	// Map refs to the vgroups containing them.
+	memberOf := map[shdf.Ref]string{}
+	groups, err := f.VGroups()
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		for _, m := range g.Members {
+			memberOf[m] = g.Name
+		}
+	}
+
+	for _, o := range objs {
+		switch o.Tag {
+		case shdf.TagSDS:
+			line := fmt.Sprintf("  SDS    ref %4d  %-28s %8d bytes", o.Ref, o.Name, o.ByteLen)
+			if g, ok := memberOf[o.Ref]; ok {
+				line += "  [" + g + "]"
+			}
+			fmt.Println(line)
+			if stats || verify {
+				ds, err := f.ReadSDS(o.Ref)
+				if err != nil {
+					return err
+				}
+				if stats {
+					fmt.Printf("         %v dims %v  %s\n", ds.Type, ds.Dims, summarize(ds))
+				}
+			}
+		case shdf.TagAttr:
+			fmt.Printf("  Attr   ref %4d  %-28s %8d bytes", o.Ref, o.Name, o.ByteLen)
+			a, err := f.ReadAttr(o.Ref)
+			if err != nil {
+				return err
+			}
+			switch {
+			case a.IsStr:
+				fmt.Printf("  = %q\n", a.Str)
+			case a.IsInt:
+				fmt.Printf("  = %d\n", a.Int)
+			case a.IsFlt:
+				fmt.Printf("  = %g\n", a.Float)
+			default:
+				fmt.Println()
+			}
+		case shdf.TagVGroup:
+			g, err := f.ReadVGroup(o.Ref)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  VGroup ref %4d  %-28s %d members\n", o.Ref, o.Name, len(g.Members))
+		}
+	}
+	if verify {
+		fmt.Printf("  all %d objects verified OK\n", len(objs))
+	}
+	return nil
+}
+
+// summarize prints a numeric dataset's range and mean.
+func summarize(ds *shdf.Dataset) string {
+	var lo, hi, sum float64
+	n := 0
+	visit := func(v float64) {
+		if n == 0 {
+			lo, hi = v, v
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += v
+		n++
+	}
+	switch {
+	case ds.Float64s != nil:
+		for _, v := range ds.Float64s {
+			visit(v)
+		}
+	case ds.Float32s != nil:
+		for _, v := range ds.Float32s {
+			visit(float64(v))
+		}
+	case ds.Int32s != nil:
+		for _, v := range ds.Int32s {
+			visit(float64(v))
+		}
+	case ds.Int64s != nil:
+		for _, v := range ds.Int64s {
+			visit(float64(v))
+		}
+	case ds.Uint8s != nil:
+		for _, v := range ds.Uint8s {
+			visit(float64(v))
+		}
+	}
+	if n == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("min %.6g  max %.6g  mean %.6g", lo, hi, sum/float64(n))
+}

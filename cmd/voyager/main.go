@@ -1,0 +1,87 @@
+// Command voyager is the reproduction's batch-mode visualization tool: it
+// grinds through a series of GENx snapshot files and renders one PNG per
+// visualization pass per snapshot, like the paper's Rocketeer Voyager.
+//
+// Three builds are selectable, matching the evaluation's comparison:
+//
+//	-version O    original: reading coupled with processing (redundant reads)
+//	-version G    single-thread GODIVA library (blocking unit reads)
+//	-version TG   multi-thread GODIVA library (background prefetching)
+//
+// Usage:
+//
+//	voyager -data genx-data -out images [-test complex] [-version TG] [-mem 384]
+//
+// The run executes at native speed (no platform simulation) and prints the
+// paper's metrics — total, visible I/O and computation time — at the end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"godiva/internal/genx"
+	"godiva/internal/rocketeer"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "genx-data", "dataset directory (see genxgen)")
+		out     = flag.String("out", "images", "image output directory (empty = no images)")
+		test    = flag.String("test", "simple", "visualization test: simple, medium or complex")
+		version = flag.String("version", "TG", "build: O, G or TG")
+		mem     = flag.Int("mem", 384, "GODIVA database memory limit in MB")
+		snaps   = flag.Int("snapshots", 0, "snapshots to process (0 = all)")
+		width   = flag.Int("width", 640, "image width")
+		height  = flag.Int("height", 480, "image height")
+		trace   = flag.Bool("trace", false, "print the unit prefetch timeline (G/TG builds)")
+	)
+	flag.Parse()
+
+	vt, ok := rocketeer.TestByName(*test)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "voyager: unknown test %q (want simple, medium or complex)\n", *test)
+		os.Exit(2)
+	}
+	spec, err := genx.Discover(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %d snapshots x %d files, %d blocks\n",
+		spec.Snapshots, spec.FilesPerSnapshot, spec.Blocks)
+
+	res, err := rocketeer.Run(rocketeer.Version(*version), rocketeer.Config{
+		Test:        vt,
+		Spec:        spec,
+		Dir:         *data,
+		MemoryLimit: int64(*mem) << 20,
+		Snapshots:   *snaps,
+		ImageDir:    *out,
+		Width:       *width,
+		Height:      *height,
+		TraceUnits:  *trace,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s/%s: %d images\n", res.Test, res.Version, res.Images)
+	fmt.Printf("  total time:       %v\n", res.Total.Round(1e6))
+	fmt.Printf("  visible I/O time: %v\n", res.VisibleIO.Round(1e6))
+	fmt.Printf("  computation time: %v\n", res.Compute.Round(1e6))
+	if res.Version != rocketeer.VersionO {
+		fmt.Printf("  GODIVA: %d units read (%d prefetched), %d cache hits, peak %0.1f MB\n",
+			res.DB.UnitsRead, res.DB.UnitsPrefetched, res.DB.CacheHits,
+			float64(res.DB.PeakBytes)/1e6)
+	}
+	if *trace && len(res.Events) > 0 {
+		fmt.Println("  unit timeline (ms from first event):")
+		t0 := res.Events[0].When
+		for _, e := range res.Events {
+			fmt.Printf("   %8.1f  %-12s %s -> %s\n",
+				float64(e.When.Sub(t0).Microseconds())/1000, e.Unit, e.From, e.To)
+		}
+	}
+}

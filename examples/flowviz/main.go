@@ -1,0 +1,233 @@
+// Flowviz demonstrates vector-field visualization on GODIVA-managed data:
+// it reads one snapshot's velocity field through the database, integrates
+// streamlines through the propellant grain, adds vector glyphs, and renders
+// them over the cut-away geometry with a color legend.
+//
+// Run with: go run ./examples/flowviz
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"godiva"
+	"godiva/internal/core"
+	"godiva/internal/genx"
+	"godiva/internal/mesh"
+	"godiva/internal/render"
+	"godiva/internal/vis"
+)
+
+func main() {
+	work, err := os.MkdirTemp("", "godiva-flowviz-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	spec := genx.Scaled(8)
+	spec.Snapshots = 2
+	dataDir := filepath.Join(work, "data")
+	fmt.Println("writing dataset…")
+	if _, err := genx.WriteDataset(spec, dataDir); err != nil {
+		log.Fatal(err)
+	}
+
+	db := godiva.Open(godiva.Options{BackgroundIO: true})
+	defer db.Close()
+	if err := defineSchema(db); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.ReadUnit("snap_0000", makeReadFunc(spec, dataDir)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Assemble the whole grain from the per-block records in the database,
+	// remapping through global node IDs.
+	grain, vel := assemble(db, spec)
+	fmt.Printf("assembled %d nodes, %d elements\n", grain.NumNodes(), grain.NumCells())
+
+	// Streamlines seeded across the grain inlet.
+	seeds := vis.SeedLine(
+		mesh.Vec3{X: 0.8, Y: 0, Z: 0.1},
+		mesh.Vec3{X: 1.45, Y: 0, Z: 0.1},
+		8,
+	)
+	lines, err := vis.Streamlines(grain, vel, seeds, vis.StreamlineOptions{MaxSteps: 4000, Both: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	glyphs, err := vis.VectorGlyphs(grain, vel, 97, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d streamlines (%d points), %d glyphs\n",
+		lines.NumLines(), lines.NumPoints(), glyphs.NumLines())
+
+	// Render: cut-away surface colored by speed, lines on top, legend.
+	speed := vis.VectorMagnitude(vel)
+	blo, bhi := grain.Bounds()
+	pl := vis.Plane{Origin: mesh.Vec3{}, Normal: mesh.Vec3{Y: -1}} // keep y < 0
+	surf, err := vis.CutPlane(grain, pl, speed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := vis.ScalarRange(speed)
+	r := render.NewRenderer(640, 480)
+	cam := render.DefaultCamera(blo, bhi)
+	if err := r.DrawSurface(surf, cam, render.Grayscale{}, lo, hi); err != nil {
+		log.Fatal(err)
+	}
+	if err := r.DrawLines(lines, cam, render.Rainbow{}, lo, hi); err != nil {
+		log.Fatal(err)
+	}
+	if err := r.DrawLines(glyphs, cam, render.Rainbow{}, lo, hi); err != nil {
+		log.Fatal(err)
+	}
+	r.DrawColorbar(render.Rainbow{})
+	out := "flowviz.png"
+	if err := r.WritePNG(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", out)
+}
+
+// assemble rebuilds the global mesh and velocity field from block records,
+// merging duplicated boundary nodes via global IDs.
+func assemble(db *godiva.DB, spec genx.Spec) (*mesh.TetMesh, []float64) {
+	grain := &mesh.TetMesh{}
+	var vel []float64
+	globalToLocal := map[int64]int32{}
+	stepID := spec.StepID(0)
+	for b := 0; b < spec.Blocks; b++ {
+		id := genx.BlockID(b)
+		coords := float64s(db, "coords", id, stepID)
+		blockVel := float64s(db, "velocity", id, stepID)
+		connBuf, err := db.GetFieldBuffer("block", "conn", id, stepID)
+		must(err)
+		conn, err := connBuf.Int32s()
+		must(err)
+		gidBuf, err := db.GetFieldBuffer("block", "gids", id, stepID)
+		must(err)
+		gids, err := gidBuf.Int64s()
+		must(err)
+		local := make([]int32, len(gids))
+		for i, g := range gids {
+			li, ok := globalToLocal[g]
+			if !ok {
+				li = int32(grain.NumNodes())
+				globalToLocal[g] = li
+				grain.Coords = append(grain.Coords, coords[3*i], coords[3*i+1], coords[3*i+2])
+				vel = append(vel, blockVel[3*i], blockVel[3*i+1], blockVel[3*i+2])
+			}
+			local[i] = li
+		}
+		for _, n := range conn {
+			grain.Tets = append(grain.Tets, local[n])
+		}
+	}
+	return grain, vel
+}
+
+func float64s(db *godiva.DB, field, blockID, stepID string) []float64 {
+	buf, err := db.GetFieldBuffer("block", field, blockID, stepID)
+	must(err)
+	v, err := buf.Float64s()
+	must(err)
+	return v
+}
+
+func defineSchema(db *godiva.DB) error {
+	for _, f := range []struct {
+		name string
+		typ  godiva.DataType
+		size int
+	}{
+		{"block id", godiva.String, 11},
+		{"time-step id", godiva.String, 9},
+		{"coords", godiva.Float64, godiva.Unknown},
+		{"conn", godiva.Int32, godiva.Unknown},
+		{"gids", godiva.Int64, godiva.Unknown},
+		{"velocity", godiva.Float64, godiva.Unknown},
+	} {
+		if err := db.DefineField(f.name, f.typ, f.size); err != nil {
+			return err
+		}
+	}
+	if err := db.DefineRecordType("block", 2); err != nil {
+		return err
+	}
+	for _, f := range []string{"block id", "time-step id", "coords", "conn", "gids", "velocity"} {
+		if err := db.InsertField("block", f, f == "block id" || f == "time-step id"); err != nil {
+			return err
+		}
+	}
+	return db.CommitRecordType("block")
+}
+
+func makeReadFunc(spec genx.Spec, dir string) godiva.ReadFunc {
+	return func(u *core.Unit) error {
+		var step int
+		if _, err := fmt.Sscanf(u.Name(), "snap_%d", &step); err != nil {
+			return err
+		}
+		reader := &genx.Reader{}
+		for _, path := range spec.SnapshotFiles(dir, step) {
+			h, err := reader.Open(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range h.Blocks() {
+				bd, err := h.ReadBlock(e, []string{"velocity"})
+				if err != nil {
+					h.Close()
+					return err
+				}
+				rec, err := u.NewRecord("block")
+				if err != nil {
+					h.Close()
+					return err
+				}
+				must(rec.SetString("block id", bd.Name))
+				must(rec.SetString("time-step id", bd.StepID))
+				fill := func(field string, n int, cp func(dst *godiva.Buffer)) {
+					buf, err := rec.AllocFieldBuffer(field, n)
+					must(err)
+					cp(buf)
+				}
+				fill("coords", 8*len(bd.Mesh.Coords), func(b *godiva.Buffer) {
+					dst, _ := b.Float64s()
+					copy(dst, bd.Mesh.Coords)
+				})
+				fill("conn", 4*len(bd.Mesh.Tets), func(b *godiva.Buffer) {
+					dst, _ := b.Int32s()
+					copy(dst, bd.Mesh.Tets)
+				})
+				fill("gids", 8*len(bd.Mesh.GlobalNode), func(b *godiva.Buffer) {
+					dst, _ := b.Int64s()
+					copy(dst, bd.Mesh.GlobalNode)
+				})
+				fill("velocity", 8*len(bd.Node["velocity"]), func(b *godiva.Buffer) {
+					dst, _ := b.Float64s()
+					copy(dst, bd.Node["velocity"])
+				})
+				if err := u.DB().CommitRecord(rec); err != nil {
+					h.Close()
+					return err
+				}
+			}
+			if err := h.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

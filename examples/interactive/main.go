@@ -1,0 +1,200 @@
+// Interactive replays the paper's interactive-mode scenario (§1, §3.2): a
+// user browsing a time series cannot be predicted, so the tool issues
+// explicit blocking ReadUnit calls, marks processed units "finished"
+// instead of deleting them — hoping the user revisits data still in the
+// database — and lets GODIVA's LRU caching under a memory cap do the rest.
+//
+// The replayed session flips back and forth between two snapshots ("users
+// may frequently switch back and forth between snapshot images from two
+// different time-steps to observe the changes"), then sweeps the whole
+// series. The cache turns every revisit into a hit until memory pressure
+// evicts the least recently used snapshot.
+//
+// Run with: go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"godiva"
+	"godiva/internal/core"
+	"godiva/internal/genx"
+)
+
+func main() {
+	work, err := os.MkdirTemp("", "godiva-interactive-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	spec := genx.Scaled(16)
+	spec.Snapshots = 6
+	dataDir := filepath.Join(work, "data")
+	fmt.Println("writing snapshot series…")
+	if _, err := genx.WriteDataset(spec, dataDir); err != nil {
+		log.Fatal(err)
+	}
+
+	// Size the database to hold about three snapshots, so the session
+	// exercises both cache hits and LRU evictions.
+	unitBytes := estimateUnitBytes(spec, dataDir)
+	db := godiva.Open(godiva.Options{MemoryLimit: 3*unitBytes + unitBytes/2})
+	defer db.Close()
+	if err := defineSchema(db); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database memory: %.1f MB (about 3 snapshots)\n\n", float64(db.MemLimit())/1e6)
+
+	readSnapshot := makeReadFunc(spec, dataDir)
+
+	// The user's (unpredictable) browsing: compare steps 1 and 2 a few
+	// times, then look through the rest of the series.
+	session := []int{1, 2, 1, 2, 1, 0, 3, 4, 5, 1}
+	for _, step := range session {
+		name := fmt.Sprintf("snap_%04d", step)
+		before := db.Stats()
+		if err := db.ReadUnit(name, readSnapshot); err != nil {
+			log.Fatal(err)
+		}
+		after := db.Stats()
+		view(db, spec, step)
+		// Finished, not deleted: the user may come back.
+		if err := db.FinishUnit(name); err != nil {
+			log.Fatal(err)
+		}
+		how := "read from disk"
+		if after.CacheHits > before.CacheHits {
+			how = "cache hit"
+		}
+		fmt.Printf("view step %d: %-14s (resident %4.1f MB, evictions %d)\n",
+			step, how, float64(db.MemUsed())/1e6, after.UnitsEvicted)
+	}
+
+	s := db.Stats()
+	fmt.Printf("\nsession: %d views, %d disk reads, %d cache hits, %d evictions\n",
+		len(session), s.UnitsRead, s.CacheHits, s.UnitsEvicted)
+	if s.CacheHits == 0 {
+		log.Fatal("expected cache hits in this session")
+	}
+}
+
+// view pretends to render step: it queries one block's temperature buffer
+// and reports its range, touching the data the way a renderer would.
+func view(db *godiva.DB, spec genx.Spec, step int) {
+	buf, err := db.GetFieldBuffer("block", "temperature", genx.BlockID(0), spec.StepID(step))
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, _ := buf.Float64s()
+	lo, hi := t[0], t[0]
+	for _, v := range t {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	_ = lo
+	_ = hi
+}
+
+// defineSchema declares the block record type (keys: block ID, step ID).
+func defineSchema(db *godiva.DB) error {
+	fields := []struct {
+		name string
+		typ  godiva.DataType
+		size int
+	}{
+		{"block id", godiva.String, 11},
+		{"time-step id", godiva.String, 9},
+		{"temperature", godiva.Float64, godiva.Unknown},
+		{"stress_avg", godiva.Float64, godiva.Unknown},
+	}
+	for _, f := range fields {
+		if err := db.DefineField(f.name, f.typ, f.size); err != nil {
+			return err
+		}
+	}
+	if err := db.DefineRecordType("block", 2); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		if err := db.InsertField("block", f.name, f.size != godiva.Unknown); err != nil {
+			return err
+		}
+	}
+	return db.CommitRecordType("block")
+}
+
+// makeReadFunc reads one snapshot's element scalars into the database.
+func makeReadFunc(spec genx.Spec, dir string) godiva.ReadFunc {
+	return func(u *core.Unit) error {
+		var step int
+		if _, err := fmt.Sscanf(u.Name(), "snap_%d", &step); err != nil {
+			return err
+		}
+		reader := &genx.Reader{}
+		for _, path := range spec.SnapshotFiles(dir, step) {
+			h, err := reader.Open(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range h.Blocks() {
+				bd, err := h.ReadBlock(e, []string{"temperature", "stress_avg"})
+				if err != nil {
+					h.Close()
+					return err
+				}
+				rec, err := u.NewRecord("block")
+				if err != nil {
+					h.Close()
+					return err
+				}
+				if err := rec.SetString("block id", bd.Name); err != nil {
+					h.Close()
+					return err
+				}
+				if err := rec.SetString("time-step id", bd.StepID); err != nil {
+					h.Close()
+					return err
+				}
+				for field, data := range bd.Elem {
+					buf, err := rec.AllocFieldBuffer(field, 8*len(data))
+					if err != nil {
+						h.Close()
+						return err
+					}
+					dst, _ := buf.Float64s()
+					copy(dst, data)
+				}
+				if err := u.DB().CommitRecord(rec); err != nil {
+					h.Close()
+					return err
+				}
+			}
+			if err := h.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// estimateUnitBytes sizes one snapshot's in-database footprint by reading
+// the first one.
+func estimateUnitBytes(spec genx.Spec, dir string) int64 {
+	probe := godiva.Open(godiva.Options{})
+	defer probe.Close()
+	if err := defineSchema(probe); err != nil {
+		log.Fatal(err)
+	}
+	if err := probe.ReadUnit("snap_0000", makeReadFunc(spec, dir)); err != nil {
+		log.Fatal(err)
+	}
+	return probe.MemUsed()
+}

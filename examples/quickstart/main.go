@@ -1,0 +1,127 @@
+// Quickstart: the GODIVA batch-mode pattern from paper §3.3 in 80 lines.
+//
+// Two "input files" (generated on the fly) are registered as processing
+// units; the multi-thread GODIVA library prefetches them in the background
+// through our read function while the main thread processes each unit and
+// deletes it when done.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"godiva"
+	"godiva/internal/shdf"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "godiva-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Write two small SHDF input files, each holding one pressure array.
+	for i, n := range []int{64, 128} {
+		w, err := shdf.Create(inputFile(dir, i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		data := make([]float64, n)
+		for j := range data {
+			data[j] = 101325 + 500*math.Sin(float64(i+1)*float64(j)/8)
+		}
+		if _, err := w.WriteSDS("pressure", []int{n}, data); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The GBO of the paper: 64 MB of database memory, background I/O on.
+	db := godiva.Open(godiva.Options{MemoryLimit: 64 << 20, BackgroundIO: true})
+	defer db.Close()
+
+	// Schema: records keyed by file name, holding one pressure buffer of
+	// initially unknown size (Table 1's UNKNOWN).
+	must(db.DefineField("file", godiva.String, 32))
+	must(db.DefineField("pressure", godiva.Float64, godiva.Unknown))
+	must(db.DefineRecordType("sample", 1))
+	must(db.InsertField("sample", "file", true))
+	must(db.InsertField("sample", "pressure", false))
+	must(db.CommitRecordType("sample"))
+
+	// The developer-supplied read function: GODIVA passes the unit name
+	// back so one function serves every unit (paper §3.3, footnote 3).
+	readFile := func(u *godiva.Unit) error {
+		f, err := shdf.Open(filepath.Join(dir, u.Name()))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		info, err := f.FindByName(shdf.TagSDS, "pressure")
+		if err != nil {
+			return err
+		}
+		ds, err := f.ReadSDS(info.Ref)
+		if err != nil {
+			return err
+		}
+		rec, err := u.NewRecord("sample")
+		if err != nil {
+			return err
+		}
+		if err := rec.SetString("file", u.Name()); err != nil {
+			return err
+		}
+		buf, err := rec.AllocFieldBuffer("pressure", 8*len(ds.Float64s))
+		if err != nil {
+			return err
+		}
+		dst, err := buf.Float64s()
+		if err != nil {
+			return err
+		}
+		copy(dst, ds.Float64s)
+		return u.DB().CommitRecord(rec)
+	}
+
+	// Batch mode: add all units up front, then wait / process / delete.
+	units := []string{filepath.Base(inputFile(dir, 0)), filepath.Base(inputFile(dir, 1))}
+	for _, name := range units {
+		must(db.AddUnit(name, readFile))
+	}
+	for _, name := range units {
+		must(db.WaitUnit(name))
+		buf, err := db.GetFieldBuffer("sample", "pressure", name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, _ := buf.Float64s()
+		lo, hi := p[0], p[0]
+		for _, v := range p {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		fmt.Printf("%s: %d pressure values in [%.0f, %.0f] Pa\n", name, len(p), lo, hi)
+		must(db.DeleteUnit(name)) // batch mode: not needed again
+	}
+	s := db.Stats()
+	fmt.Printf("GODIVA: %d units read (%d in the background), peak memory %d bytes\n",
+		s.UnitsRead, s.UnitsPrefetched, s.PeakBytes)
+}
+
+func inputFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("input_%d.shdf", i))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module godiva
+
+go 1.22

@@ -1,0 +1,113 @@
+package godiva_test
+
+import (
+	"errors"
+	"testing"
+
+	"godiva"
+)
+
+// TestPublicAPIRoundTrip exercises the whole public surface: schema
+// definition, record creation, unit-based reading, key queries, caching and
+// stats — using only the facade package, as an application would.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := godiva.Open(godiva.Options{MemoryLimit: 1 << 20, BackgroundIO: true})
+	defer db.Close()
+
+	if err := db.DefineField("id", godiva.String, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineField("values", godiva.Float64, godiva.Unknown); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRecordType("series", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertField("series", "id", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertField("series", "values", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CommitRecordType("series"); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(u *godiva.Unit) error {
+		rec, err := u.NewRecord("series")
+		if err != nil {
+			return err
+		}
+		if err := rec.SetString("id", u.Name()); err != nil {
+			return err
+		}
+		buf, err := rec.AllocFieldBuffer("values", 8*16)
+		if err != nil {
+			return err
+		}
+		vals, err := buf.Float64s()
+		if err != nil {
+			return err
+		}
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		return u.DB().CommitRecord(rec)
+	}
+
+	if err := db.AddUnit("u1", read); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitUnit("u1"); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := db.GetFieldBuffer("series", "values", "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := buf.Float64s()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 16 || vals[15] != 15 {
+		t.Fatalf("values = %v", vals)
+	}
+	if err := db.FinishUnit("u1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReadUnit("u1", read); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.CacheHits != 1 || s.UnitsRead != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if err := db.DeleteUnit("u1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GetFieldBuffer("series", "values", "u1"); !errors.Is(err, godiva.ErrNotFound) {
+		t.Fatalf("query after delete: %v", err)
+	}
+}
+
+// TestErrorValuesExported checks the re-exported sentinel errors match the
+// ones the library returns.
+func TestErrorValuesExported(t *testing.T) {
+	db := godiva.Open(godiva.Options{})
+	defer db.Close()
+	if err := db.WaitUnit("nope"); !errors.Is(err, godiva.ErrUnknownUnit) {
+		t.Fatalf("WaitUnit: %v", err)
+	}
+	if err := db.DefineField("f", godiva.Float64, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineField("f", godiva.Float64, 8); !errors.Is(err, godiva.ErrExists) {
+		t.Fatalf("duplicate field: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); !errors.Is(err, godiva.ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}

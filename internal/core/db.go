@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"godiva/internal/rbtree"
+)
+
+// Options configures a GODIVA database.
+type Options struct {
+	// MemoryLimit is the maximum number of bytes of field-buffer payload
+	// plus indexing overhead the database may hold, the paper's GBO
+	// constructor argument (there given in MB). Zero means 256 MB.
+	MemoryLimit int64
+
+	// TraceUnits enables the unit event log (see UnitEvents): every unit
+	// state transition is recorded with a timestamp.
+	TraceUnits bool
+
+	// BackgroundIO selects the multi-thread library of the paper when true:
+	// a single I/O goroutine prefetches added units through their read
+	// functions. When false the library behaves as the paper's single-thread
+	// version: AddUnit only queues, and WaitUnit performs the pending read
+	// inline, making every wait an explicit blocking read.
+	BackgroundIO bool
+}
+
+// DefaultMemoryLimit is used when Options.MemoryLimit is zero.
+const DefaultMemoryLimit = 256 << 20
+
+// DB is the GODIVA database — the paper's GBO (GODIVA Buffer Object). One DB
+// manages the schemas, records, index, processing units and background I/O
+// of one processor's local data. All methods are safe for concurrent use;
+// per the paper each processor owns a private DB and no cross-processor
+// communication happens inside the library.
+type DB struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on unit state changes and memory releases
+
+	fieldTypes  map[string]*fieldType
+	recordTypes map[string]*recordType
+	indexes     map[string]*rbtree.Tree[*Record] // record type name -> key index
+	resident    map[*Record]struct{}             // records owned by no unit
+
+	units map[string]*unit
+	queue []*unit // prefetch FIFO (statePending units, in AddUnit order)
+	lru   lruList // finished, unreferenced units, evictable
+
+	mem     int64 // bytes charged
+	limit   int64
+	ioBlock bool // I/O goroutine blocked on memory in reserveLocked
+	closed  bool
+	bgIO    bool
+	ioDone  chan struct{} // closed when the I/O goroutine exits
+	stats   Stats
+
+	traceEvents bool
+	events      []UnitEvent
+}
+
+// Open creates a GODIVA database and, in background-I/O mode, starts its I/O
+// goroutine. The caller must Close the database to stop the goroutine and
+// release all records.
+func Open(opts Options) *DB {
+	limit := opts.MemoryLimit
+	if limit == 0 {
+		limit = DefaultMemoryLimit
+	}
+	db := &DB{
+		fieldTypes:  make(map[string]*fieldType),
+		recordTypes: make(map[string]*recordType),
+		indexes:     make(map[string]*rbtree.Tree[*Record]),
+		resident:    make(map[*Record]struct{}),
+		units:       make(map[string]*unit),
+		limit:       limit,
+		bgIO:        opts.BackgroundIO,
+		traceEvents: opts.TraceUnits,
+	}
+	db.cond = sync.NewCond(&db.mu)
+	if db.bgIO {
+		db.ioDone = make(chan struct{})
+		go db.ioLoop()
+	}
+	return db
+}
+
+// Close stops the background I/O goroutine, deletes all units and records,
+// and marks the database closed. Goroutines blocked in WaitUnit are woken
+// with ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	db.cond.Broadcast()
+	done := db.ioDone
+	db.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, u := range db.units {
+		db.dropUnitLocked(u)
+	}
+	for r := range db.resident {
+		db.dropRecordLocked(r)
+	}
+	db.resident = map[*Record]struct{}{}
+	return nil
+}
+
+// SetMemSpace adjusts the database memory limit at run time (paper §3.2).
+// Lowering the limit evicts finished units until the new limit is met or
+// nothing more can be evicted; raising it wakes any blocked readers.
+func (db *DB) SetMemSpace(bytes int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.limit = bytes
+	for db.mem > db.limit {
+		if !db.evictOneLocked() {
+			break
+		}
+	}
+	db.cond.Broadcast()
+}
+
+// MemUsed returns the bytes currently charged against the memory limit.
+func (db *DB) MemUsed() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.mem
+}
+
+// MemLimit returns the current memory limit in bytes.
+func (db *DB) MemLimit() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.limit
+}
+
+func (db *DB) indexFor(recType string) *rbtree.Tree[*Record] {
+	idx, ok := db.indexes[recType]
+	if !ok {
+		idx = rbtree.New[*Record]()
+		db.indexes[recType] = idx
+	}
+	return idx
+}
+
+// reserveLocked charges need bytes against the memory limit, evicting
+// finished units (LRU first) and blocking until space is available. owner is
+// the unit whose read function is allocating, or nil for allocations made
+// outside any read function. It returns ErrDeadlock when waiting can never
+// succeed per the paper's §3.3 detection rule. Caller holds db.mu; the lock
+// may be dropped while waiting.
+func (db *DB) reserveLocked(need int64, owner *unit) error {
+	if need <= 0 {
+		db.mem += need
+		return nil
+	}
+	for db.mem+need > db.limit {
+		if db.closed {
+			return ErrClosed
+		}
+		if need > db.limit {
+			return fmt.Errorf("%w: need %d bytes, limit %d", ErrNoMemory, need, db.limit)
+		}
+		if db.evictOneLocked() {
+			continue
+		}
+		// Nothing evictable: decide between waiting for another thread to
+		// free memory and declaring the paper's §3.3 deadlock. Detection
+		// assumes the paper's execution model of one main thread plus the
+		// library's I/O goroutine.
+		if db.deadlockedLocked(owner) {
+			db.stats.Deadlocks++
+			if owner != nil {
+				owner.allocFailed = ErrDeadlock
+			}
+			return ErrDeadlock
+		}
+		bgReader := owner != nil && !owner.inline
+		if bgReader {
+			db.ioBlock = true
+		}
+		db.cond.Wait()
+		if bgReader {
+			db.ioBlock = false
+		}
+	}
+	db.mem += need
+	if db.mem > db.stats.PeakBytes {
+		db.stats.PeakBytes = db.mem
+	}
+	return nil
+}
+
+// deadlockedLocked applies the paper's deadlock rule when an allocation
+// found memory exhausted with nothing evictable: the situation is hopeless
+// when whoever could free memory is itself stuck. owner is the unit whose
+// read function is allocating (nil for an allocation outside any read).
+// Caller holds db.mu.
+func (db *DB) deadlockedLocked(owner *unit) bool {
+	switch {
+	case owner == nil:
+		// Plain allocation: hopeless only if the I/O goroutine is also
+		// stuck on memory (it never frees memory on its own).
+		return db.ioBlock
+	case owner.inline:
+		// Inline read on an application thread. In the single-thread
+		// library no other thread exists to free memory; with background
+		// I/O, the I/O goroutine being stuck too means neither can proceed.
+		return !db.bgIO || db.ioBlock
+	default:
+		// The I/O goroutine is allocating. If some thread is blocked
+		// waiting for a unit that only this goroutine can produce, neither
+		// side can make progress: the main thread "neglected to delete
+		// processed units" (paper §3.3).
+		return db.stuckWaiterLocked()
+	}
+}
+
+// stuckWaiterLocked reports whether any goroutine is blocked waiting on a
+// unit that has not been produced yet (pending or reading). Waiters on
+// already-ready units are transient — they will wake and may free memory —
+// and do not count.
+func (db *DB) stuckWaiterLocked() bool {
+	for _, u := range db.units {
+		if u.waiters > 0 && (u.state == statePending || u.state == stateReading) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLocked returns n bytes to the memory budget and wakes blocked
+// reservers. Caller holds db.mu.
+func (db *DB) releaseLocked(n int64) {
+	db.mem -= n
+	if n > 0 {
+		db.cond.Broadcast()
+	}
+}
+
+// evictOneLocked evicts the least-recently-used finished unit, dropping all
+// of its records. It reports whether a unit was evicted. Caller holds db.mu.
+func (db *DB) evictOneLocked() bool {
+	u := db.lru.popLRU()
+	if u == nil {
+		return false
+	}
+	db.recordEventLocked(u, u.state, stateEvicted)
+	db.dropUnitLocked(u)
+	db.stats.UnitsEvicted++
+	db.cond.Broadcast()
+	return true
+}
+
+// dropUnitLocked removes a unit and all of its records from the database.
+// Caller holds db.mu.
+func (db *DB) dropUnitLocked(u *unit) {
+	db.recordEventLocked(u, u.state, stateDeleted)
+	db.lru.remove(u)
+	for _, r := range u.records {
+		db.dropRecordLocked(r)
+	}
+	u.records = nil
+	u.memory = 0
+	u.state = stateDeleted
+	delete(db.units, u.name)
+}
+
+// GetRecord returns the committed record of the given type identified by the
+// key values, in key-field insertion order.
+func (db *DB) GetRecord(recType string, keys ...any) (*Record, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	rt, ok := db.recordTypes[recType]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRecordType, recType)
+	}
+	if !rt.committed {
+		return nil, fmt.Errorf("%w: record type %q", ErrNotCommitted, recType)
+	}
+	key, err := rt.keyForValues(keys)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := db.indexFor(recType).Get(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: record type %q", ErrNotFound, recType)
+	}
+	return r, nil
+}
+
+// GetFieldBuffer answers the paper's key-lookup query: it returns the data
+// buffer of the named field in the record of the given type identified by
+// the key values. The visualization code then accesses the buffer directly,
+// as if it were a user-allocated array.
+func (db *DB) GetFieldBuffer(recType, field string, keys ...any) (*Buffer, error) {
+	r, err := db.GetRecord(recType, keys...)
+	if err != nil {
+		return nil, err
+	}
+	return r.FieldBuffer(field)
+}
+
+// GetFieldBufferSize is GetFieldBuffer's size-only companion; it returns the
+// field buffer's size in bytes.
+func (db *DB) GetFieldBufferSize(recType, field string, keys ...any) (int, error) {
+	buf, err := db.GetFieldBuffer(recType, field, keys...)
+	if err != nil {
+		return 0, err
+	}
+	return buf.Size(), nil
+}
+
+// CountRecords returns the number of committed records of a record type.
+func (db *DB) CountRecords(recType string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	idx, ok := db.indexes[recType]
+	if !ok {
+		return 0
+	}
+	return idx.Len()
+}
+
+// EachRecord calls fn for every committed record of a record type in
+// ascending key order until fn returns false. fn runs with the database
+// lock held and must not call back into the database.
+func (db *DB) EachRecord(recType string, fn func(r *Record) bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	idx, ok := db.indexes[recType]
+	if !ok {
+		return
+	}
+	idx.Ascend(func(_ []byte, r *Record) bool { return fn(r) })
+}

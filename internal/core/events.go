@@ -1,0 +1,46 @@
+package core
+
+import "time"
+
+// UnitEvent records one processing-unit state transition, with wall-clock
+// timestamps. The event log makes prefetch behavior observable: when a unit
+// was queued, when the I/O thread picked it up, when it became ready, when
+// it was finished, evicted or deleted — the timeline behind the paper's
+// visible-I/O measurements.
+type UnitEvent struct {
+	Unit string
+	From string
+	To   string
+	When time.Time
+}
+
+// maxEvents bounds the in-memory event log; older events are dropped.
+const maxEvents = 65536
+
+// recordEventLocked appends a transition to the event log when tracing is
+// enabled. Caller holds db.mu.
+func (db *DB) recordEventLocked(u *unit, from, to unitState) {
+	if !db.traceEvents {
+		return
+	}
+	if len(db.events) >= maxEvents {
+		drop := len(db.events) / 4
+		db.events = append(db.events[:0], db.events[drop:]...)
+	}
+	db.events = append(db.events, UnitEvent{
+		Unit: u.name,
+		From: from.String(),
+		To:   to.String(),
+		When: time.Now(),
+	})
+}
+
+// UnitEvents returns a copy of the recorded unit state transitions, oldest
+// first. Empty unless Options.TraceUnits was set.
+func (db *DB) UnitEvents() []UnitEvent {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]UnitEvent, len(db.events))
+	copy(out, db.events)
+	return out
+}

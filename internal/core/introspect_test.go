@@ -1,0 +1,229 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestUnitsListing(t *testing.T) {
+	db := newTestDB(t, Options{BackgroundIO: true})
+	defineBlobSchema(t, db)
+	if err := db.ReadUnit("b", blobReader(512, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReadUnit("a", blobReader(256, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.FinishUnit("a"); err != nil {
+		t.Fatal(err)
+	}
+	units := db.Units()
+	if len(units) != 2 {
+		t.Fatalf("got %d units", len(units))
+	}
+	if units[0].Name != "a" || units[1].Name != "b" {
+		t.Fatalf("order: %q, %q", units[0].Name, units[1].Name)
+	}
+	if units[0].State != "finished" || units[1].State != "ready" {
+		t.Fatalf("states: %q, %q", units[0].State, units[1].State)
+	}
+	if units[0].Records != 1 || units[0].Bytes == 0 {
+		t.Fatalf("unit a: %+v", units[0])
+	}
+	if units[1].Refs != 1 {
+		t.Fatalf("unit b refs = %d", units[1].Refs)
+	}
+}
+
+func TestRecordTypesAndKeyFields(t *testing.T) {
+	db := newTestDB(t, Options{})
+	defineFluidSchema(t, db)
+	if err := db.DefineRecordType("uncommitted", 1); err != nil {
+		t.Fatal(err)
+	}
+	types := db.RecordTypes()
+	if len(types) != 1 || types[0] != "fluid" {
+		t.Fatalf("RecordTypes = %v", types)
+	}
+	keys, err := db.KeyFields("fluid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "block id" || keys[1] != "time-step id" {
+		t.Fatalf("KeyFields = %v", keys)
+	}
+	if _, err := db.KeyFields("nope"); !errors.Is(err, ErrUnknownRecordType) {
+		t.Fatalf("unknown type: %v", err)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	db := newTestDB(t, Options{})
+	defineFluidSchema(t, db)
+	for _, blk := range []string{"block_0001$", "block_0002$"} {
+		for _, step := range []string{"0.000025$", "0.000050$", "0.000075$"} {
+			makeFluidRecord(t, db, blk, step)
+		}
+	}
+	// Full-key scan: exactly one record.
+	count := 0
+	err := db.ScanPrefix("fluid", func(r *Record) bool { count++; return true },
+		"block_0001$", "0.000050$")
+	if err != nil || count != 1 {
+		t.Fatalf("full-key scan: %d records, %v", count, err)
+	}
+	// Prefix scan: all time steps of one block, in key order.
+	var steps []string
+	err = db.ScanPrefix("fluid", func(r *Record) bool {
+		buf, _ := r.FieldBuffer("time-step id")
+		s, _ := buf.StringValue()
+		steps = append(steps, s)
+		return true
+	}, "block_0002$")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("prefix scan found %d records", len(steps))
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i-1] >= steps[i] {
+			t.Fatalf("scan out of order: %v", steps)
+		}
+	}
+	// Empty prefix: every record.
+	count = 0
+	if err := db.ScanPrefix("fluid", func(r *Record) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Fatalf("full scan found %d records", count)
+	}
+	// Early stop.
+	count = 0
+	if err := db.ScanPrefix("fluid", func(r *Record) bool { count++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("early-stop scan visited %d", count)
+	}
+	// Errors.
+	if err := db.ScanPrefix("nope", func(r *Record) bool { return true }); !errors.Is(err, ErrUnknownRecordType) {
+		t.Fatalf("unknown type: %v", err)
+	}
+	if err := db.ScanPrefix("fluid", func(r *Record) bool { return true }, "a", "b", "c"); !errors.Is(err, ErrKeyCount) {
+		t.Fatalf("too many keys: %v", err)
+	}
+	if err := db.ScanPrefix("fluid", func(r *Record) bool { return true }, 42); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("wrong key type: %v", err)
+	}
+}
+
+func TestScanPrefixNoMatches(t *testing.T) {
+	db := newTestDB(t, Options{})
+	defineFluidSchema(t, db)
+	makeFluidRecord(t, db, "block_0001$", "0.000025$")
+	count := 0
+	if err := db.ScanPrefix("fluid", func(r *Record) bool { count++; return true }, "zzz"); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("scan of absent prefix visited %d", count)
+	}
+}
+
+func TestPrefixUpperBound(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{0x41, 0x42}, []byte{0x41, 0x43}},
+	}
+	for _, c := range cases {
+		if got := prefixUpperBound(c.in); !bytes.Equal(got, c.want) {
+			t.Fatalf("prefixUpperBound(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnitEventLog(t *testing.T) {
+	db := newTestDB(t, Options{BackgroundIO: true, TraceUnits: true, MemoryLimit: 2600})
+	defineBlobSchema(t, db)
+	rd := blobReader(1000, nil)
+	if err := db.ReadUnit("a", rd); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.FinishUnit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReadUnit("a", rd); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	if err := db.FinishUnit("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Evict a by filling memory, then delete b.
+	if err := db.ReadUnit("b", rd); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReadUnit("c", rd); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteUnit("b"); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range db.UnitEvents() {
+		got = append(got, e.Unit+":"+e.From+">"+e.To)
+		if e.When.IsZero() {
+			t.Fatal("event without timestamp")
+		}
+	}
+	want := []string{
+		"a:pending>pending", // created
+		"a:pending>reading",
+		"a:reading>ready",
+		"a:ready>finished",
+		"a:finished>ready", // cache hit re-pin
+		"a:ready>finished",
+		"b:pending>pending",
+		"b:pending>reading",
+		"b:reading>ready",
+		"c:pending>pending",
+		"c:pending>reading",
+		"a:finished>evicted", // LRU eviction during c's read
+		"a:finished>deleted",
+		"c:reading>ready",
+		"b:ready>deleted",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	// Timestamps are monotone non-decreasing.
+	evs := db.UnitEvents()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].When.Before(evs[i-1].When) {
+			t.Fatalf("event %d out of order", i)
+		}
+	}
+}
+
+func TestUnitEventsOffByDefault(t *testing.T) {
+	db := newTestDB(t, Options{BackgroundIO: true})
+	defineBlobSchema(t, db)
+	if err := db.ReadUnit("a", blobReader(64, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.UnitEvents(); len(got) != 0 {
+		t.Fatalf("events recorded without TraceUnits: %v", got)
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// AddUnit appends a processing unit to the prefetching list (non-blocking).
+// In background-I/O mode the I/O goroutine will read the unit's records into
+// the database using the supplied read function, in AddUnit order. Adding a
+// unit that is already queued or being read is a no-op; adding a unit whose
+// data is still cached counts as a cache hit and performs no I/O; adding a
+// previously failed unit re-queues it.
+func (db *DB) AddUnit(name string, read ReadFunc) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if u, ok := db.units[name]; ok {
+		switch u.state {
+		case statePending, stateReading:
+			return nil
+		case stateReady:
+			db.stats.CacheHits++
+			return nil
+		case stateFinished:
+			// Still cached: refresh its recency so it survives until used.
+			db.lru.remove(u)
+			db.lru.pushMRU(u)
+			db.stats.CacheHits++
+			return nil
+		case stateFailed:
+			db.recordEventLocked(u, stateFailed, statePending)
+			u.state = statePending
+			u.err = nil
+			u.allocFailed = nil
+			u.read = read
+			db.queue = append(db.queue, u)
+			db.stats.UnitsAdded++
+			db.cond.Broadcast()
+			return nil
+		}
+	}
+	u := &unit{name: name, state: statePending, read: read}
+	db.units[name] = u
+	db.recordEventLocked(u, statePending, statePending)
+	db.queue = append(db.queue, u)
+	db.stats.UnitsAdded++
+	db.cond.Broadcast()
+	return nil
+}
+
+// ReadUnit explicitly reads a unit into the database with a blocking call,
+// the paper's foreground path for interactive tools that cannot predict
+// future accesses. If the unit is already resident (prefetched earlier, or
+// finished but not yet evicted) the call is a cache hit and returns without
+// I/O; a finished unit is re-pinned. The caller becomes a consumer of the
+// unit and should call FinishUnit or DeleteUnit when done with it.
+func (db *DB) ReadUnit(name string, read ReadFunc) error {
+	start := time.Now()
+	db.mu.Lock()
+	defer func() {
+		db.stats.VisibleWait += time.Since(start)
+		db.mu.Unlock()
+	}()
+	if db.closed {
+		return ErrClosed
+	}
+	u, ok := db.units[name]
+	if !ok {
+		u = &unit{name: name, state: statePending, read: read}
+		db.units[name] = u
+		db.recordEventLocked(u, statePending, statePending)
+		db.stats.UnitsAdded++
+	}
+	return db.acquireUnitLocked(u, true)
+}
+
+// WaitUnit blocks until the named unit has been read into the database and
+// pins it for processing. In single-thread mode a pending unit is read
+// inline, making WaitUnit equivalent to an explicit blocking ReadUnit
+// (paper §4.2's "G" library). The caller becomes a consumer of the unit.
+func (db *DB) WaitUnit(name string) error {
+	start := time.Now()
+	db.mu.Lock()
+	defer func() {
+		db.stats.VisibleWait += time.Since(start)
+		db.mu.Unlock()
+	}()
+	if db.closed {
+		return ErrClosed
+	}
+	u, ok := db.units[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUnit, name)
+	}
+	return db.acquireUnitLocked(u, false)
+}
+
+// acquireUnitLocked brings unit u to stateReady on behalf of one consumer:
+// reading it inline when allowed (inline is true for ReadUnit, and pending
+// units are always read inline when background I/O is off), waiting for the
+// I/O goroutine otherwise, and re-pinning cached units. Caller holds db.mu;
+// the lock is dropped during reads and waits.
+func (db *DB) acquireUnitLocked(u *unit, inline bool) error {
+	for {
+		switch u.state {
+		case statePending:
+			if inline || !db.bgIO {
+				db.recordEventLocked(u, statePending, stateReading)
+				u.state = stateReading
+				u.inline = true
+				db.mu.Unlock()
+				db.runRead(u)
+				db.mu.Lock()
+				u.inline = false
+				continue
+			}
+			db.waitStateLocked(u)
+		case stateReading:
+			db.waitStateLocked(u)
+		case stateReady:
+			u.refs++
+			if u.everAcquired {
+				db.stats.CacheHits++
+			}
+			u.everAcquired = true
+			return nil
+		case stateFinished:
+			db.recordEventLocked(u, stateFinished, stateReady)
+			db.lru.remove(u)
+			u.state = stateReady
+			u.refs++
+			db.stats.CacheHits++
+			return nil
+		case stateFailed:
+			return fmt.Errorf("%w: unit %q: %w", ErrUnitFailed, u.name, u.err)
+		case stateDeleted:
+			return fmt.Errorf("%w: %q (deleted)", ErrUnknownUnit, u.name)
+		}
+		if db.closed {
+			return ErrClosed
+		}
+	}
+}
+
+// waitStateLocked blocks until u leaves its current state or the database
+// closes. It registers the caller as a waiter on u and wakes the I/O
+// goroutine first, so that a reader blocked on memory re-evaluates the
+// deadlock condition now that a consumer is provably stuck. Caller holds
+// db.mu.
+func (db *DB) waitStateLocked(u *unit) {
+	state := u.state
+	if u.state == state && !db.closed {
+		u.waiters++
+		db.cond.Broadcast() // one wake-up per registration, not per loop turn
+		for u.state == state && !db.closed {
+			db.cond.Wait()
+		}
+		u.waiters--
+	}
+}
+
+// runRead executes a unit's read function outside the lock and finalizes the
+// unit's state. The caller must have set u.state = stateReading under db.mu
+// and released the lock.
+func (db *DB) runRead(u *unit) {
+	start := time.Now()
+	err := u.read(&Unit{db: db, u: u})
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.ReadTime += time.Since(start)
+	if err == nil {
+		err = u.allocFailed
+	}
+	if u.state == stateDeleted {
+		// Deleted while being read: drop whatever the read created.
+		for _, r := range u.records {
+			db.dropRecordLocked(r)
+		}
+		u.records = nil
+		u.memory = 0
+	} else if err != nil {
+		for _, r := range u.records {
+			db.dropRecordLocked(r)
+		}
+		u.records = nil
+		u.memory = 0
+		db.recordEventLocked(u, stateReading, stateFailed)
+		u.state = stateFailed
+		u.err = err
+		db.stats.UnitsFailed++
+	} else {
+		db.recordEventLocked(u, stateReading, stateReady)
+		u.state = stateReady
+		db.stats.UnitsRead++
+		db.stats.BytesLoaded += u.memory
+	}
+	db.cond.Broadcast()
+}
+
+// FinishUnit tells the database that one consumer has completed processing
+// the named unit. When the last consumer finishes, the unit becomes
+// evictable: its records stay cached and answer queries until memory
+// pressure evicts them, LRU first (paper §3.2).
+func (db *DB) FinishUnit(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	u, ok := db.units[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUnit, name)
+	}
+	switch u.state {
+	case stateReady:
+		if u.refs > 0 {
+			u.refs--
+		}
+		if u.refs == 0 {
+			db.recordEventLocked(u, stateReady, stateFinished)
+			u.state = stateFinished
+			db.lru.pushMRU(u)
+			db.cond.Broadcast()
+		}
+		return nil
+	case stateFinished:
+		return nil
+	default:
+		return fmt.Errorf("godiva: cannot finish unit %q in state %v", name, u.state)
+	}
+}
+
+// DeleteUnit explicitly deletes the named unit and all of its records,
+// releasing their memory immediately (paper §3.2: for data the program knows
+// it will not need again). A unit currently being read is deleted as soon as
+// its read function returns.
+func (db *DB) DeleteUnit(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	u, ok := db.units[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUnit, name)
+	}
+	// Wait for an in-flight read to finish, registered as a waiter so a
+	// reader blocked on memory sees us and the deadlock detector can fire
+	// (the read then fails and the delete proceeds).
+	for u.state == stateReading && !db.closed {
+		db.waitStateLocked(u)
+	}
+	if db.units[name] != u {
+		return nil // someone else deleted it while we waited
+	}
+	db.dropUnitLocked(u)
+	db.stats.UnitsDeleted++
+	db.cond.Broadcast()
+	return nil
+}
+
+// UnitState reports a unit's state name, for introspection and tests.
+// ok is false if the unit is unknown (never added, or already deleted or
+// evicted).
+func (db *DB) UnitState(name string) (state string, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	u, found := db.units[name]
+	if !found {
+		return "", false
+	}
+	return u.state.String(), true
+}
+
+// ioLoop is the single background I/O goroutine of the multi-thread library:
+// it pops units off the prefetch FIFO and reads them through their read
+// functions, blocking (inside reserveLocked) when the database is out of
+// memory, until the database is closed.
+func (db *DB) ioLoop() {
+	defer close(db.ioDone)
+	for {
+		db.mu.Lock()
+		for !db.closed && len(db.queue) == 0 {
+			db.cond.Wait()
+		}
+		if db.closed {
+			db.mu.Unlock()
+			return
+		}
+		u := db.queue[0]
+		db.queue = db.queue[1:]
+		if u.state != statePending {
+			// Read inline by ReadUnit/WaitUnit, or deleted, while queued.
+			db.mu.Unlock()
+			continue
+		}
+		db.recordEventLocked(u, statePending, stateReading)
+		u.state = stateReading
+		db.mu.Unlock()
+		db.runRead(u)
+		db.mu.Lock()
+		db.stats.UnitsPrefetched++
+		db.mu.Unlock()
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import "time"
+
+// Stats is a snapshot of the database's operation counters. Times are wall
+// times; VisibleWait is the cumulative time callers spent blocked in
+// WaitUnit/ReadUnit — the quantity the paper's evaluation reports as
+// "visible I/O time" — while ReadTime is the cumulative time spent inside
+// read functions regardless of whether a caller was waiting.
+type Stats struct {
+	RecordsCommitted int64
+	UnitsAdded       int64 // units queued via AddUnit or first ReadUnit
+	UnitsRead        int64 // read functions completed successfully
+	UnitsPrefetched  int64 // subset of UnitsRead performed by the I/O goroutine
+	UnitsFailed      int64
+	UnitsDeleted     int64
+	UnitsEvicted     int64
+	CacheHits        int64
+	Deadlocks        int64
+	BytesLoaded      int64 // cumulative unit payload bytes brought in
+	PeakBytes        int64 // high-water memory charge
+	VisibleWait      time.Duration
+	ReadTime         time.Duration
+}
+
+// Stats returns a snapshot of the database counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}

@@ -1,0 +1,155 @@
+package core
+
+import "fmt"
+
+// unitState tracks a processing unit through its life cycle.
+type unitState int
+
+const (
+	statePending  unitState = iota // queued for prefetch, not yet read
+	stateReading                   // read function executing
+	stateReady                     // resident in memory, pinned
+	stateFinished                  // resident in memory, evictable (LRU)
+	stateFailed                    // read function returned an error
+	stateDeleted                   // removed by DeleteUnit or eviction
+
+	// stateEvicted is used only in the event log, to distinguish cache
+	// evictions from explicit deletions (both end in stateDeleted).
+	stateEvicted
+)
+
+func (s unitState) String() string {
+	switch s {
+	case statePending:
+		return "pending"
+	case stateReading:
+		return "reading"
+	case stateReady:
+		return "ready"
+	case stateFinished:
+		return "finished"
+	case stateFailed:
+		return "failed"
+	case stateDeleted:
+		return "deleted"
+	case stateEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("unitState(%d)", int(s))
+	}
+}
+
+// unit is a processing unit: a named set of records brought into or evicted
+// from the GODIVA database as a whole (paper §3.2). It is the granularity of
+// background I/O, caching and eviction.
+type unit struct {
+	name    string
+	state   unitState
+	read    ReadFunc
+	records []*Record
+	memory  int64 // bytes charged by this unit's records
+	refs    int   // consumers between WaitUnit/ReadUnit and FinishUnit
+	err     error // terminal read error (stateFailed)
+
+	// everAcquired marks that some consumer has pinned the unit before, so
+	// later acquisitions of a still-Ready unit count as cache hits.
+	everAcquired bool
+
+	// waiters counts goroutines blocked in WaitUnit/ReadUnit on this unit;
+	// the deadlock detector only considers waiters on unproduced units.
+	waiters int
+
+	// inline marks a read running on an application thread (ReadUnit, or
+	// WaitUnit in the single-thread library) rather than the I/O goroutine.
+	inline bool
+
+	// allocFailed records a memory-reservation failure (e.g. ErrDeadlock)
+	// raised while this unit's read function ran, so the failure reaches
+	// waiters even if the read function swallows the allocation error.
+	allocFailed error
+
+	// Intrusive LRU list links; non-nil membership means the unit is in the
+	// evictable list (stateFinished, refs == 0).
+	lruPrev, lruNext *unit
+	inLRU            bool
+}
+
+// ReadFunc is a developer-supplied read function: it reads one processing
+// unit's datasets from input files into the GODIVA database. The unit handle
+// identifies which unit is being read (the paper passes the unit name back
+// to the read function so one function can serve many units) and is the
+// factory for the unit's records.
+type ReadFunc func(u *Unit) error
+
+// Unit is the handle a read function receives. Records created through the
+// handle belong to the unit and are deleted together when the unit is
+// deleted or evicted.
+type Unit struct {
+	db *DB
+	u  *unit
+}
+
+// Name returns the processing unit's name.
+func (x *Unit) Name() string { return x.u.name }
+
+// DB returns the database the unit is being read into, for schema lookups
+// and queries from within the read function.
+func (x *Unit) DB() *DB { return x.db }
+
+// NewRecord creates a record of a committed record type owned by this unit.
+func (x *Unit) NewRecord(recType string) (*Record, error) {
+	x.db.mu.Lock()
+	defer x.db.mu.Unlock()
+	return x.db.newRecordLocked(recType, x.u)
+}
+
+// --- intrusive LRU list (head = least recently used) ---
+
+type lruList struct {
+	head, tail *unit
+	n          int
+}
+
+func (l *lruList) pushMRU(u *unit) {
+	if u.inLRU {
+		return
+	}
+	u.lruPrev = l.tail
+	u.lruNext = nil
+	if l.tail != nil {
+		l.tail.lruNext = u
+	} else {
+		l.head = u
+	}
+	l.tail = u
+	u.inLRU = true
+	l.n++
+}
+
+func (l *lruList) remove(u *unit) {
+	if !u.inLRU {
+		return
+	}
+	if u.lruPrev != nil {
+		u.lruPrev.lruNext = u.lruNext
+	} else {
+		l.head = u.lruNext
+	}
+	if u.lruNext != nil {
+		u.lruNext.lruPrev = u.lruPrev
+	} else {
+		l.tail = u.lruPrev
+	}
+	u.lruPrev, u.lruNext = nil, nil
+	u.inLRU = false
+	l.n--
+}
+
+// popLRU removes and returns the least-recently-used unit, or nil.
+func (l *lruList) popLRU() *unit {
+	u := l.head
+	if u != nil {
+		l.remove(u)
+	}
+	return u
+}

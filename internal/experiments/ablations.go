@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"godiva/internal/platform"
+	"godiva/internal/rocketeer"
+)
+
+// Ablations probe the design choices the paper discusses but does not
+// quantify: the prefetch granularity developers pick when defining units
+// (§3.2: a whole snapshot, a single file, …) and the database memory cap
+// that bounds how far ahead the I/O thread may run (§3.2's "at least enough
+// idle space to hold one more processing unit").
+
+// GranularityRow compares unit granularities for one test on Engle.
+type GranularityRow struct {
+	Test      string
+	Unit      string // "snapshot" or "file"
+	Total     Sample
+	VisibleIO Sample
+	UnitsRead int64
+}
+
+// RunGranularity runs the TG build with snapshot-sized and file-sized units.
+func RunGranularity(s Setup, test rocketeer.VisTest) ([]*GranularityRow, error) {
+	if err := EnsureDataset(&s); err != nil {
+		return nil, err
+	}
+	var out []*GranularityRow
+	for _, perFile := range []bool{false, true} {
+		name := "snapshot"
+		if perFile {
+			name = "file"
+		}
+		row := &GranularityRow{Test: test.Name, Unit: name}
+		for rep := 0; rep < s.Reps; rep++ {
+			machine := platform.New(platform.Engle, s.Scale)
+			res, err := rocketeer.Run(rocketeer.VersionTG, rocketeer.Config{
+				Test:        test,
+				Spec:        s.Spec,
+				Dir:         s.Dir,
+				Machine:     machine,
+				VolumeScale: s.VolumeScale,
+				Snapshots:   s.Snapshots,
+				UnitPerFile: perFile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("granularity %s rep %d: %w", name, rep, err)
+			}
+			row.Total = append(row.Total, res.Total)
+			row.VisibleIO = append(row.VisibleIO, res.VisibleIO)
+			row.UnitsRead = res.DB.UnitsRead
+			s.logf("  granularity %-8s rep %d: total %7.1fs  visible I/O %6.1fs  (%d units)",
+				name, rep+1, res.Total.Seconds(), res.VisibleIO.Seconds(), res.DB.UnitsRead)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// MemoryRow reports one point of the memory-cap sweep.
+type MemoryRow struct {
+	Test      string
+	UnitsHeld float64 // memory cap in units of one snapshot's footprint
+	Total     Sample
+	VisibleIO Sample
+	Evicted   int64
+	Deadlocks int64
+}
+
+// RunMemorySweep runs the TG build under a range of memory caps, expressed
+// as multiples of one snapshot unit's in-database footprint. Caps below 2
+// approach the paper's double-buffering minimum.
+func RunMemorySweep(s Setup, test rocketeer.VisTest, multiples []float64) ([]*MemoryRow, error) {
+	if err := EnsureDataset(&s); err != nil {
+		return nil, err
+	}
+	unit, err := unitFootprint(s, test)
+	if err != nil {
+		return nil, err
+	}
+	var out []*MemoryRow
+	for _, m := range multiples {
+		row := &MemoryRow{Test: test.Name, UnitsHeld: m}
+		for rep := 0; rep < s.Reps; rep++ {
+			machine := platform.New(platform.Engle, s.Scale)
+			res, err := rocketeer.Run(rocketeer.VersionTG, rocketeer.Config{
+				Test:        test,
+				Spec:        s.Spec,
+				Dir:         s.Dir,
+				Machine:     machine,
+				VolumeScale: s.VolumeScale,
+				Snapshots:   s.Snapshots,
+				MemoryLimit: int64(m * float64(unit)),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("memory %.1fx rep %d: %w", m, rep, err)
+			}
+			row.Total = append(row.Total, res.Total)
+			row.VisibleIO = append(row.VisibleIO, res.VisibleIO)
+			row.Evicted = res.DB.UnitsEvicted
+			row.Deadlocks = res.DB.Deadlocks
+			s.logf("  memory %4.1fx rep %d: total %7.1fs  visible I/O %6.1fs",
+				m, rep+1, res.Total.Seconds(), res.VisibleIO.Seconds())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// unitFootprint measures one snapshot's in-database bytes by running a
+// single-snapshot G pass at native speed.
+func unitFootprint(s Setup, test rocketeer.VisTest) (int64, error) {
+	res, err := rocketeer.Run(rocketeer.VersionG, rocketeer.Config{
+		Test:      test,
+		Spec:      s.Spec,
+		Dir:       s.Dir,
+		Snapshots: 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.DB.PeakBytes == 0 {
+		return 0, fmt.Errorf("experiments: empty unit footprint")
+	}
+	return res.DB.PeakBytes, nil
+}
+
+// PrintGranularity writes the granularity ablation table.
+func PrintGranularity(w io.Writer, rows []*GranularityRow) {
+	fmt.Fprintf(w, "\nUnit granularity ablation (TG on Engle):\n")
+	fmt.Fprintf(w, "%-8s %-9s %7s %14s %18s\n", "test", "unit", "units", "total (s)", "visible I/O (s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-9s %7d %8.1f ±%4.1f %12.1f ±%4.1f\n",
+			r.Test, r.Unit, r.UnitsRead,
+			r.Total.Mean().Seconds(), r.Total.CI95().Seconds(),
+			r.VisibleIO.Mean().Seconds(), r.VisibleIO.CI95().Seconds())
+	}
+}
+
+// PrintMemorySweep writes the memory-cap sweep table.
+func PrintMemorySweep(w io.Writer, rows []*MemoryRow) {
+	fmt.Fprintf(w, "\nDatabase memory-cap sweep (TG on Engle; cap in snapshot units):\n")
+	fmt.Fprintf(w, "%-8s %6s %14s %18s %9s %10s\n", "test", "cap", "total (s)", "visible I/O (s)", "evicted", "deadlocks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %5.1fx %8.1f ±%4.1f %12.1f ±%4.1f %9d %10d\n",
+			r.Test, r.UnitsHeld,
+			r.Total.Mean().Seconds(), r.Total.CI95().Seconds(),
+			r.VisibleIO.Mean().Seconds(), r.VisibleIO.CI95().Seconds(),
+			r.Evicted, r.Deadlocks)
+	}
+}
+
+// DefaultMemoryMultiples is the standard sweep: from just above the
+// double-buffering minimum to effectively unbounded.
+func DefaultMemoryMultiples() []float64 {
+	return []float64{1.6, 2.5, 4, 8, 16}
+}

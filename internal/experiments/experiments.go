@@ -1,0 +1,230 @@
+// Package experiments regenerates the paper's evaluation (§4.2): Figure
+// 3(a) on the Engle workstation model, Figure 3(b) on the Turing cluster
+// node model, the I/O-volume reductions, and the parallel Voyager runs.
+// Experiments run the real Voyager builds over a geometrically reduced GENx
+// dataset with the paper's full block/file structure, charging full-scale
+// I/O and compute costs to the simulated platforms, and report means with
+// 95% confidence intervals over repeated runs as the paper does.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"godiva/internal/genx"
+	"godiva/internal/mesh"
+	"godiva/internal/platform"
+	"godiva/internal/rocketeer"
+)
+
+// Setup configures a batch of experiment runs.
+type Setup struct {
+	// Spec is the (reduced) dataset; Dir holds its files.
+	Spec genx.Spec
+	Dir  string
+	// VolumeScale converts reduced volumes/counts to the paper's full
+	// scale.
+	VolumeScale float64
+	// Scale is the virtual-time scale (wall seconds per virtual second).
+	Scale float64
+	// Reps is the number of repetitions (the paper reports 5-run averages
+	// with 95% confidence intervals).
+	Reps int
+	// Snapshots caps the snapshots processed per run (0 = all 32).
+	Snapshots int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (s *Setup) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+// fullScaleCells is the element count of the full-scale GENx grain mesh the
+// paper's dataset sizes correspond to.
+func fullScaleCells() int {
+	m := genx.Default().Mesh
+	return 6 * m.NR * m.NTheta * m.NZ
+}
+
+// DefaultSetup builds the standard experiment configuration: a 1/20-scale
+// grain mesh (chosen to preserve the full mesh's node-to-cell composition,
+// which the I/O-volume reductions depend on) with the full 120-block,
+// 8-file, 32-snapshot structure, virtual time at 1/20 of real time, 5 reps.
+func DefaultSetup(dir string) Setup {
+	spec := genx.Default()
+	spec.Mesh = mesh.AnnulusSpec{
+		NR: 2, NTheta: 12, NZ: 160,
+		RInner: 0.6, ROuter: 1.55, Length: 24,
+	}
+	actual := 6 * spec.Mesh.NR * spec.Mesh.NTheta * spec.Mesh.NZ
+	return Setup{
+		Spec:        spec,
+		Dir:         dir,
+		VolumeScale: float64(fullScaleCells()) / float64(actual),
+		Scale:       0.05,
+		Reps:        5,
+	}
+}
+
+// QuickSetup is DefaultSetup shrunk for benches and smoke tests: fewer
+// snapshots, one rep, faster clock.
+func QuickSetup(dir string) Setup {
+	s := DefaultSetup(dir)
+	s.Scale = 0.02
+	s.Reps = 1
+	s.Snapshots = 6
+	return s
+}
+
+// EnsureDataset writes the Setup's dataset to Dir unless a complete one is
+// already there (detected via a marker recording the spec).
+func EnsureDataset(s *Setup) error {
+	marker := filepath.Join(s.Dir, "dataset.ok")
+	want := fmt.Sprintf("%+v\n", s.Spec)
+	if data, err := os.ReadFile(marker); err == nil && string(data) == want {
+		return nil
+	}
+	s.logf("generating dataset in %s (%d snapshots x %d files)…",
+		s.Dir, s.Spec.Snapshots, s.Spec.FilesPerSnapshot)
+	if _, err := genx.WriteDataset(s.Spec, s.Dir); err != nil {
+		return err
+	}
+	return os.WriteFile(marker, []byte(want), 0o644)
+}
+
+// Sample holds repeated virtual-time measurements of one quantity.
+type Sample []time.Duration
+
+// Mean returns the sample mean.
+func (s Sample) Mean() time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s {
+		sum += v
+	}
+	return sum / time.Duration(len(s))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// (normal approximation, as is conventional for the paper's error bars).
+func (s Sample) CI95() time.Duration {
+	n := len(s)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var ss float64
+	for _, v := range s {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return time.Duration(1.96 * sd / math.Sqrt(float64(n)))
+}
+
+// Measurement aggregates one (test, version) cell of a figure.
+type Measurement struct {
+	Platform string
+	Test     string
+	Version  string // O, G, TG, TG1, TG2
+	Total    Sample
+	Visible  Sample
+	Compute  Sample
+	// Disk stats from the first rep (identical across reps).
+	DiskBytes int64
+	DiskSeeks int64
+}
+
+// runCell executes Reps runs of one configuration on a fresh machine each.
+func (s *Setup) runCell(spec platform.Spec, test rocketeer.VisTest, v rocketeer.Version, load bool) (*Measurement, error) {
+	label := string(v)
+	if v == rocketeer.VersionTG && spec.NumCPU > 1 {
+		if load {
+			label = "TG1"
+		} else {
+			label = "TG2"
+		}
+	}
+	m := &Measurement{Platform: spec.Name, Test: test.Name, Version: label}
+	for rep := 0; rep < s.Reps; rep++ {
+		machine := platform.New(spec, s.Scale)
+		res, err := rocketeer.Run(v, rocketeer.Config{
+			Test:          test,
+			Spec:          s.Spec,
+			Dir:           s.Dir,
+			Machine:       machine,
+			VolumeScale:   s.VolumeScale,
+			Snapshots:     s.Snapshots,
+			CompetingLoad: load,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/%s rep %d: %w", spec.Name, test.Name, label, rep, err)
+		}
+		m.Total = append(m.Total, res.Total)
+		m.Visible = append(m.Visible, res.VisibleIO)
+		m.Compute = append(m.Compute, res.Compute)
+		if rep == 0 {
+			m.DiskBytes = res.Disk.Bytes
+			m.DiskSeeks = res.Disk.Seeks
+		}
+		s.logf("  %-7s %-7s %-4s rep %d: total %7.1fs  visible I/O %6.1fs  compute %7.1fs",
+			spec.Name, test.Name, label, rep+1,
+			res.Total.Seconds(), res.VisibleIO.Seconds(), res.Compute.Seconds())
+	}
+	return m, nil
+}
+
+// Figure3a runs the Engle experiment: {simple, medium, complex} x {O, G, TG}.
+func Figure3a(s Setup) ([]*Measurement, error) {
+	if err := EnsureDataset(&s); err != nil {
+		return nil, err
+	}
+	var out []*Measurement
+	for _, test := range rocketeer.Tests() {
+		for _, v := range []rocketeer.Version{rocketeer.VersionO, rocketeer.VersionG, rocketeer.VersionTG} {
+			m, err := s.runCell(platform.Engle, test, v, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Figure3b runs the Turing experiment: {simple, medium, complex} x
+// {O, G, TG1, TG2}. TG1 runs a competing compute-intensive process on the
+// node's second processor.
+func Figure3b(s Setup) ([]*Measurement, error) {
+	if err := EnsureDataset(&s); err != nil {
+		return nil, err
+	}
+	var out []*Measurement
+	for _, test := range rocketeer.Tests() {
+		type cell struct {
+			v    rocketeer.Version
+			load bool
+		}
+		for _, c := range []cell{
+			{rocketeer.VersionO, false},
+			{rocketeer.VersionG, false},
+			{rocketeer.VersionTG, true},  // TG1
+			{rocketeer.VersionTG, false}, // TG2
+		} {
+			m, err := s.runCell(platform.Turing, test, c.v, c.load)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

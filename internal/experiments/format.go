@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"godiva/internal/genx"
+	"godiva/internal/platform"
+)
+
+// FormatRow reports the scientific-format-vs-plain-binary comparison for
+// one snapshot read: the §1 claim that files written with scientific data
+// libraries "have at visualization time a higher input cost than do plain
+// binary files".
+type FormatRow struct {
+	Format  string
+	Read    Sample // virtual time to read one full snapshot
+	MBRead  float64
+	Decode  time.Duration // virtual CPU charged to decoding, first rep
+	DiskSec float64       // virtual disk busy, first rep
+}
+
+// RunFormatComparison writes the dataset in both formats and times reading
+// one full snapshot (all variables) through each on the Engle model.
+func RunFormatComparison(s Setup) ([]*FormatRow, error) {
+	if err := EnsureDataset(&s); err != nil {
+		return nil, err
+	}
+	plainDir := s.Dir + "-plain"
+	if _, err := genx.WritePlainDataset(s.Spec, plainDir); err != nil {
+		return nil, err
+	}
+	vars := append(append([]string{}, genx.NodeVectorFields...), genx.ElemScalarFields...)
+
+	readSHDF := func(r *genx.Reader) error {
+		for i := 0; i < s.Spec.FilesPerSnapshot; i++ {
+			h, err := r.Open(genx.SnapshotFile(s.Dir, 0, i))
+			if err != nil {
+				return err
+			}
+			for _, e := range h.Blocks() {
+				if _, err := h.ReadBlock(e, vars); err != nil {
+					h.Close()
+					return err
+				}
+			}
+			if err := h.Close(); err != nil {
+				return err
+			}
+		}
+		r.Flush()
+		return nil
+	}
+	readPlain := func(r *genx.Reader) error {
+		for i := 0; i < s.Spec.FilesPerSnapshot; i++ {
+			h, err := r.OpenPlain(genx.PlainSnapshotFile(plainDir, 0, i))
+			if err != nil {
+				return err
+			}
+			for _, b := range h.Blocks() {
+				if _, err := h.ReadMesh(b); err != nil {
+					return err
+				}
+				for _, v := range vars {
+					if _, err := h.ReadField(b, v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		r.Flush()
+		return nil
+	}
+
+	rows := []*FormatRow{{Format: "SHDF (HDF-like)"}, {Format: "plain binary"}}
+	readers := []func(*genx.Reader) error{readSHDF, readPlain}
+	for i, read := range readers {
+		for rep := 0; rep < s.Reps; rep++ {
+			machine := platform.New(platform.Engle, s.Scale)
+			r := &genx.Reader{M: machine, VolumeScale: s.VolumeScale}
+			start := time.Now()
+			if err := read(r); err != nil {
+				return nil, fmt.Errorf("%s rep %d: %w", rows[i].Format, rep, err)
+			}
+			rows[i].Read = append(rows[i].Read, machine.Virtual(time.Since(start)))
+			if rep == 0 {
+				d := machine.Disk()
+				rows[i].MBRead = float64(d.Bytes) / 1e6
+				rows[i].DiskSec = d.Busy.Seconds()
+				rows[i].Decode = machine.CPUBusy()
+			}
+			s.logf("  format %-16s rep %d: read %6.2fs", rows[i].Format, rep+1,
+				rows[i].Read[len(rows[i].Read)-1].Seconds())
+		}
+	}
+	return rows, nil
+}
+
+// PrintFormatComparison writes the format comparison table.
+func PrintFormatComparison(w io.Writer, rows []*FormatRow) {
+	fmt.Fprintf(w, "\nInput cost per snapshot by file format (Engle):\n")
+	fmt.Fprintf(w, "%-18s %14s %10s %12s %12s\n", "format", "read (s)", "MB", "disk (s)", "decode (s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8.2f ±%4.2f %10.1f %12.2f %12.2f\n",
+			r.Format, r.Read.Mean().Seconds(), r.Read.CI95().Seconds(),
+			r.MBRead, r.DiskSec, r.Decode.Seconds())
+	}
+}

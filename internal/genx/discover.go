@@ -1,0 +1,44 @@
+package genx
+
+import (
+	"fmt"
+	"os"
+)
+
+// Discover inspects a dataset directory written by WriteDataset and
+// reconstructs the Spec fields a reader needs: snapshot count, files per
+// snapshot, block count and the time step. The mesh geometry itself is not
+// recovered (it lives in the files).
+func Discover(dir string) (Spec, error) {
+	var spec Spec
+	for {
+		path := SnapshotFile(dir, spec.Snapshots, 0)
+		if _, err := os.Stat(path); err != nil {
+			break
+		}
+		spec.Snapshots++
+	}
+	if spec.Snapshots == 0 {
+		return spec, fmt.Errorf("genx: no snapshot files in %s", dir)
+	}
+	for {
+		path := SnapshotFile(dir, 0, spec.FilesPerSnapshot)
+		if _, err := os.Stat(path); err != nil {
+			break
+		}
+		spec.FilesPerSnapshot++
+	}
+	r := &Reader{}
+	for i := 0; i < spec.FilesPerSnapshot; i++ {
+		h, err := r.Open(SnapshotFile(dir, 0, i))
+		if err != nil {
+			return spec, fmt.Errorf("genx: discovering %s: %w", dir, err)
+		}
+		spec.Blocks += len(h.Blocks())
+		if i == 0 {
+			spec.DT = h.Time // snapshot 0 is written at t = DT
+		}
+		h.Close()
+	}
+	return spec, nil
+}

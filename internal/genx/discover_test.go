@@ -1,0 +1,33 @@
+package genx
+
+import "testing"
+
+func TestDiscover(t *testing.T) {
+	spec, dir, _ := writeTiny(t)
+	got, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Snapshots != spec.Snapshots {
+		t.Fatalf("Snapshots = %d, want %d", got.Snapshots, spec.Snapshots)
+	}
+	if got.FilesPerSnapshot != spec.FilesPerSnapshot {
+		t.Fatalf("FilesPerSnapshot = %d, want %d", got.FilesPerSnapshot, spec.FilesPerSnapshot)
+	}
+	if got.Blocks != spec.Blocks {
+		t.Fatalf("Blocks = %d, want %d", got.Blocks, spec.Blocks)
+	}
+	if got.DT != spec.DT {
+		t.Fatalf("DT = %v, want %v", got.DT, spec.DT)
+	}
+	// Step IDs derived from the discovered DT must match the written ones.
+	if got.StepID(1) != spec.StepID(1) {
+		t.Fatalf("StepID(1) = %q, want %q", got.StepID(1), spec.StepID(1))
+	}
+}
+
+func TestDiscoverEmptyDir(t *testing.T) {
+	if _, err := Discover(t.TempDir()); err == nil {
+		t.Fatal("Discover on empty directory succeeded")
+	}
+}

@@ -1,0 +1,214 @@
+// Package genx generates and reads synthetic rocket-simulation snapshot
+// datasets shaped like the GENx data the paper's experiments visualize
+// (§4.2): an unstructured tetrahedral mesh of a solid-propellant grain,
+// partitioned into blocks with duplicated boundary nodes, carrying
+// node-based vector quantities (displacement, velocity, acceleration) and
+// element-based scalars (a scalar measure of average stress, the six stress
+// tensor components, and restart quantities), written as a series of
+// time-step snapshots of eight SHDF files each.
+//
+// The paper's data cannot be obtained (CSAR's Titan IV runs); this package
+// preserves what the experiments depend on: data volumes, per-file layout,
+// block structure, and time-series organization. Field values are smooth
+// analytic functions of position and time — a pressure wave travelling down
+// the grain while the bore burns outward — so that visualizations are
+// meaningful and deterministic.
+package genx
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"godiva/internal/mesh"
+)
+
+// Spec describes one synthetic dataset.
+type Spec struct {
+	// Mesh is the propellant-grain geometry.
+	Mesh mesh.AnnulusSpec
+	// Blocks is the number of partition blocks (the paper's data: 120).
+	Blocks int
+	// Snapshots is the number of time steps (the paper processes 32).
+	Snapshots int
+	// FilesPerSnapshot is how many SHDF files hold one snapshot (paper: 8).
+	FilesPerSnapshot int
+	// DT is the simulated time between snapshots in seconds.
+	DT float64
+}
+
+// Default returns the full-scale dataset spec used by the experiments: a
+// grain mesh of about 96,600 nodes and 460,800 tets in 120 blocks across 8
+// files per snapshot, matching the order of magnitude of the paper's
+// 120,481-node, 679,008-element, 120-block dataset.
+func Default() Spec {
+	return Spec{
+		Mesh: mesh.AnnulusSpec{
+			NR: 4, NTheta: 120, NZ: 160,
+			RInner: 0.6, ROuter: 1.55, Length: 24,
+			StarPoints: 0,
+		},
+		Blocks:           120,
+		Snapshots:        32,
+		FilesPerSnapshot: 8,
+		DT:               2.5e-5, // the paper's time-step IDs: 0.000025, …
+	}
+}
+
+// Scaled returns the spec shrunk by factor f in every mesh direction and in
+// block/snapshot counts, for tests and benches. f must be >= 1.
+func Scaled(f int) Spec {
+	if f < 1 {
+		f = 1
+	}
+	s := Default()
+	s.Mesh.NTheta = max(3, s.Mesh.NTheta/f)
+	s.Mesh.NZ = max(2, s.Mesh.NZ/f)
+	s.Blocks = max(2, s.Blocks/f)
+	s.Snapshots = max(2, s.Snapshots/f)
+	s.FilesPerSnapshot = max(1, s.FilesPerSnapshot/min(f, 4))
+	return s
+}
+
+// Field catalogs. MeshFields are read once per block in the GODIVA builds;
+// the original Voyager re-reads coordinates for every visualization pass.
+var (
+	// MeshFields: node coordinates, tet connectivity, global node IDs.
+	MeshFields = []string{"coords", "conn", "gids"}
+	// NodeVectorFields are node-based 3-vectors.
+	NodeVectorFields = []string{"displacement", "velocity", "acceleration"}
+	// ElemScalarFields are element-based scalars: average stress, the six
+	// stress tensor components, and restart quantities.
+	ElemScalarFields = []string{
+		"stress_avg", "s11", "s22", "s33", "s12", "s13", "s23",
+		"temperature", "energy",
+	}
+)
+
+// IsNodeField reports whether name is a node-based vector field.
+func IsNodeField(name string) bool {
+	for _, f := range NodeVectorFields {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsElemField reports whether name is an element-based scalar field.
+func IsElemField(name string) bool {
+	for _, f := range ElemScalarFields {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SnapshotFile names the i-th file of a snapshot.
+func SnapshotFile(dir string, step, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("genx_t%04d_%d.shdf", step, i))
+}
+
+// SnapshotFiles names all files of a snapshot.
+func (s Spec) SnapshotFiles(dir string, step int) []string {
+	out := make([]string, s.FilesPerSnapshot)
+	for i := range out {
+		out[i] = SnapshotFile(dir, step, i)
+	}
+	return out
+}
+
+// StepID formats a snapshot's time-step identifier the way the paper's
+// examples do ("0.000025", "0.000075", …).
+func (s Spec) StepID(step int) string {
+	return fmt.Sprintf("%.6f", float64(step+1)*s.DT)
+}
+
+// BlockID formats a block identifier ("block_0001", …).
+func BlockID(b int) string { return fmt.Sprintf("block_%04d", b+1) }
+
+// --- analytic physics fields ---
+//
+// The grain burns: a pressure/stress wave travels along z while stresses
+// relax radially; displacement grows radially with time; velocity and
+// acceleration are its time derivatives. Constants are arbitrary but keep
+// the scalars in distinct, stable ranges that the visualization tests color
+// and contour.
+
+const (
+	waveNumber = 0.9  // axial wave number (1/m)
+	waveSpeed  = 800  // wave speed (m/s) — scaled for visible motion per DT
+	baseStress = 2e6  // Pa
+	ampStress  = 8e5  // Pa
+	baseTemp   = 300  // K
+	flameTemp  = 2900 // K
+)
+
+// NodeVector evaluates a node-based vector field at position p and time t.
+func NodeVector(name string, p mesh.Vec3, t float64) (x, y, z float64) {
+	r := math.Hypot(p.X, p.Y)
+	if r == 0 {
+		r = 1e-12
+	}
+	phase := waveNumber*p.Z - waveSpeed*waveNumber*t*1e3
+	radial := 1e-3 * (1 + math.Sin(phase)) * t * 4e4
+	ur := radial / r
+	switch name {
+	case "displacement":
+		return ur * p.X, ur * p.Y, 2e-4 * math.Cos(phase)
+	case "velocity":
+		v := 1e-1 * math.Cos(phase)
+		return v * p.X / r, v * p.Y / r, 5e-2 * math.Sin(phase)
+	case "acceleration":
+		a := 40 * math.Sin(phase)
+		return a * p.X / r, a * p.Y / r, 20 * math.Cos(phase)
+	default:
+		return 0, 0, 0
+	}
+}
+
+// ElemScalar evaluates an element-based scalar field at centroid c, time t.
+func ElemScalar(name string, c mesh.Vec3, t float64) float64 {
+	r := math.Hypot(c.X, c.Y)
+	phase := waveNumber*c.Z - waveSpeed*waveNumber*t*1e3
+	wave := math.Sin(phase)
+	radial := math.Exp(-2 * (r - 0.6))
+	switch name {
+	case "stress_avg":
+		return baseStress + ampStress*wave*radial
+	case "s11":
+		return baseStress * (1 + 0.3*wave) * (c.X * c.X / (r*r + 1e-12))
+	case "s22":
+		return baseStress * (1 + 0.3*wave) * (c.Y * c.Y / (r*r + 1e-12))
+	case "s33":
+		return baseStress * (0.8 - 0.2*wave)
+	case "s12":
+		return 0.25 * baseStress * wave * (c.X * c.Y / (r*r + 1e-12))
+	case "s13":
+		return 0.15 * baseStress * math.Cos(phase)
+	case "s23":
+		return 0.15 * baseStress * math.Sin(phase+math.Pi/3)
+	case "temperature":
+		// Hot at the burning bore, cool at the case.
+		return baseTemp + (flameTemp-baseTemp)*math.Exp(-6*(r-0.55))*(1+0.05*wave)
+	case "energy":
+		return 1e5 * (1 + 0.4*wave*radial)
+	default:
+		return 0
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

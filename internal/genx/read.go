@@ -1,0 +1,288 @@
+package genx
+
+import (
+	"fmt"
+	"strings"
+
+	"godiva/internal/mesh"
+	"godiva/internal/platform"
+	"godiva/internal/shdf"
+)
+
+// Per-request overheads of the scientific-format read path, charged on top
+// of payload bytes. The paper's datasets are many small arrays (9,600 to
+// 48,000 bytes), so per-request library overhead is a real share of input
+// cost and is why its tests "issued a large number of relatively small I/O
+// requests".
+const (
+	reqDiskOverhead   = 2048 // extra effective bytes per read request
+	reqDecodeOverhead = 4096 // extra effective bytes per decode
+)
+
+// Reader reads snapshot files, optionally charging all I/O and decode work
+// to a simulated platform. A nil machine reads at native speed (used by the
+// examples and tests); the experiments pass the Engle or Turing model.
+type Reader struct {
+	M *platform.Machine
+
+	// VolumeScale multiplies payload bytes when charging the platform
+	// (request-count overheads are not scaled). The experiments run on a
+	// geometrically reduced dataset with the full block and file structure,
+	// and set VolumeScale to the full-to-reduced cell ratio so the platform
+	// sees the paper's data volumes while the real computation stays cheap
+	// enough not to perturb scaled virtual time. Zero means 1.
+	VolumeScale float64
+
+	task *platform.Task
+}
+
+// t returns the reader's platform task, creating it on first use. A Reader
+// is used by one goroutine at a time (the thread doing the reading), which
+// is what Task requires.
+func (r *Reader) t() *platform.Task {
+	if r.M == nil {
+		return nil
+	}
+	if r.task == nil {
+		r.task = r.M.NewTask()
+	}
+	return r.task
+}
+
+// Settle pays batched platform charges that are big enough to sleep
+// accurately; call at the end of each fine-grained timed read section.
+func (r *Reader) Settle() {
+	if r.task != nil {
+		r.task.Settle()
+	}
+}
+
+// Flush pays all batched platform charges. Call at the end of a unit read
+// or snapshot so deferred occupancy lands inside the measured I/O.
+func (r *Reader) Flush() {
+	if r.task != nil {
+		r.task.Flush()
+	}
+}
+
+func (r *Reader) scaled(n int64) int64 {
+	if r.VolumeScale > 1 {
+		return int64(float64(n) * r.VolumeScale)
+	}
+	return n
+}
+
+func (r *Reader) chargeRead(n int64, seeks int) {
+	if t := r.t(); t != nil {
+		t.DiskRead(r.scaled(n)+reqDiskOverhead, seeks)
+	}
+}
+
+func (r *Reader) chargeDecode(n int64) {
+	if t := r.t(); t != nil {
+		t.Decode(r.scaled(n) + reqDecodeOverhead)
+	}
+}
+
+// BlockEntry locates one block inside an open snapshot file.
+type BlockEntry struct {
+	Name    string // "block_0001"
+	ID      int    // zero-based block index
+	Members map[string]shdf.ObjectInfo
+}
+
+// FileHandle is one open snapshot file plus the read position used to model
+// sequential reads vs seeks.
+type FileHandle struct {
+	r       *Reader
+	f       *shdf.File
+	path    string
+	nextOff int64 // end of the last payload read; reads elsewhere seek
+	Time    float64
+	StepID  string
+	blocks  []BlockEntry
+}
+
+// Open opens a snapshot file, reading its directory, block table and time
+// attributes (charged as one open plus one small read).
+func (r *Reader) Open(path string) (*FileHandle, error) {
+	if t := r.t(); t != nil {
+		t.DiskOpen()
+	}
+	f, err := shdf.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	h := &FileHandle{r: r, f: f, path: path}
+	// Directory and footer: their size tracks the object count, which the
+	// reduced dataset preserves, so this charge is not volume-scaled.
+	if t := r.t(); t != nil {
+		t.DiskRead(64*1024, 1)
+		t.Decode(16 * 1024)
+	}
+
+	groups, err := f.VGroups()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, g := range groups {
+		if !strings.HasPrefix(g.Name, "block_") {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(g.Name, "block_%d", &id); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("genx: bad block group name %q", g.Name)
+		}
+		e := BlockEntry{Name: g.Name, ID: id - 1, Members: make(map[string]shdf.ObjectInfo)}
+		for _, ref := range g.Members {
+			info, err := f.Info(ref)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			// Member SDS names look like "b0001:coords".
+			if i := strings.IndexByte(info.Name, ':'); i >= 0 {
+				e.Members[info.Name[i+1:]] = info
+			}
+		}
+		h.blocks = append(h.blocks, e)
+	}
+	if a, err := findAttr(f, "time"); err == nil {
+		h.Time = a.Float
+	}
+	if a, err := findAttr(f, "step_id"); err == nil {
+		h.StepID = a.Str
+	}
+	return h, nil
+}
+
+func findAttr(f *shdf.File, name string) (*shdf.Attr, error) {
+	info, err := f.FindByName(shdf.TagAttr, name)
+	if err != nil {
+		return nil, err
+	}
+	return f.ReadAttr(info.Ref)
+}
+
+// Close closes the underlying file.
+func (h *FileHandle) Close() error { return h.f.Close() }
+
+// Path returns the file's path.
+func (h *FileHandle) Path() string { return h.path }
+
+// Blocks lists the blocks stored in this file.
+func (h *FileHandle) Blocks() []BlockEntry { return h.blocks }
+
+// readaheadWindow is how far ahead (in full-scale bytes) the OS readahead
+// reaches: forward skips inside the window cost no seek, while backward
+// jumps and far forward jumps reposition the disk.
+const readaheadWindow = 256 * 1024
+
+// readSDS reads one dataset, charging transfer, decode, and a seek when the
+// read is not satisfied by sequential readahead.
+func (h *FileHandle) readSDS(info shdf.ObjectInfo) (*shdf.Dataset, error) {
+	seeks := 0
+	if jump := info.Offset - h.nextOff; jump != 0 {
+		if jump < 0 || h.r.scaled(jump) > readaheadWindow {
+			seeks = 1
+		}
+	}
+	h.r.chargeRead(info.ByteLen, seeks)
+	ds, err := h.f.ReadSDS(info.Ref)
+	if err != nil {
+		return nil, err
+	}
+	h.r.chargeDecode(info.ByteLen)
+	h.nextOff = info.Offset + info.ByteLen
+	return ds, nil
+}
+
+// ReadField reads one named field of a block as raw float64s (node vectors
+// come back flattened x,y,z). Mesh fields: "coords" returns coordinates,
+// "conn" and "gids" are not float fields — use ReadMesh for those.
+func (h *FileHandle) ReadField(e BlockEntry, field string) ([]float64, error) {
+	info, ok := e.Members[field]
+	if !ok {
+		return nil, fmt.Errorf("genx: block %s has no field %q", e.Name, field)
+	}
+	ds, err := h.readSDS(info)
+	if err != nil {
+		return nil, err
+	}
+	if ds.Float64s == nil {
+		return nil, fmt.Errorf("genx: field %q of %s is %v, not float64", field, e.Name, ds.Type)
+	}
+	return ds.Float64s, nil
+}
+
+// ReadMesh reads a block's mesh arrays (coords, conn, gids).
+func (h *FileHandle) ReadMesh(e BlockEntry) (*mesh.TetMesh, error) {
+	coords, err := h.ReadField(e, "coords")
+	if err != nil {
+		return nil, err
+	}
+	connInfo, ok := e.Members["conn"]
+	if !ok {
+		return nil, fmt.Errorf("genx: block %s has no connectivity", e.Name)
+	}
+	conn, err := h.readSDS(connInfo)
+	if err != nil {
+		return nil, err
+	}
+	if conn.Int32s == nil {
+		return nil, fmt.Errorf("genx: connectivity of %s is %v", e.Name, conn.Type)
+	}
+	gidInfo, ok := e.Members["gids"]
+	if !ok {
+		return nil, fmt.Errorf("genx: block %s has no global IDs", e.Name)
+	}
+	gids, err := h.readSDS(gidInfo)
+	if err != nil {
+		return nil, err
+	}
+	if gids.Int64s == nil {
+		return nil, fmt.Errorf("genx: global IDs of %s are %v", e.Name, gids.Type)
+	}
+	return &mesh.TetMesh{Coords: coords, Tets: conn.Int32s, GlobalNode: gids.Int64s}, nil
+}
+
+// BlockData is one block's in-memory datasets for one snapshot.
+type BlockData struct {
+	ID     int
+	Name   string
+	Mesh   *mesh.TetMesh
+	Node   map[string][]float64 // node vector fields, flattened
+	Elem   map[string][]float64 // element scalar fields
+	Time   float64
+	StepID string
+}
+
+// ReadBlock reads a block's mesh plus the listed variable fields.
+func (h *FileHandle) ReadBlock(e BlockEntry, vars []string) (*BlockData, error) {
+	m, err := h.ReadMesh(e)
+	if err != nil {
+		return nil, err
+	}
+	bd := &BlockData{
+		ID: e.ID, Name: e.Name, Mesh: m,
+		Node: make(map[string][]float64), Elem: make(map[string][]float64),
+		Time: h.Time, StepID: h.StepID,
+	}
+	for _, v := range vars {
+		data, err := h.ReadField(e, v)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case IsNodeField(v):
+			bd.Node[v] = data
+		case IsElemField(v):
+			bd.Elem[v] = data
+		default:
+			return nil, fmt.Errorf("genx: unknown variable %q", v)
+		}
+	}
+	return bd, nil
+}

@@ -1,0 +1,112 @@
+package genx
+
+import (
+	"fmt"
+	"os"
+
+	"godiva/internal/mesh"
+	"godiva/internal/shdf"
+)
+
+// WriteDataset generates the grain mesh, partitions it, and writes every
+// snapshot of the dataset into dir. It returns the partition blocks so
+// callers can compare visualization output against ground truth.
+func WriteDataset(spec Spec, dir string) ([]*mesh.TetMesh, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	grain := mesh.GenerateAnnulus(spec.Mesh)
+	blocks := grain.Partition(spec.Blocks)
+	for step := 0; step < spec.Snapshots; step++ {
+		if err := writeSnapshot(spec, dir, step, blocks); err != nil {
+			return nil, fmt.Errorf("snapshot %d: %w", step, err)
+		}
+	}
+	return blocks, nil
+}
+
+// writeSnapshot writes one time step: blocks are dealt round-robin onto the
+// snapshot's files, every field of every block is written.
+func writeSnapshot(spec Spec, dir string, step int, blocks []*mesh.TetMesh) error {
+	t := float64(step+1) * spec.DT
+	writers := make([]*shdf.Writer, spec.FilesPerSnapshot)
+	for i := range writers {
+		w, err := shdf.Create(SnapshotFile(dir, step, i))
+		if err != nil {
+			return err
+		}
+		writers[i] = w
+	}
+	for b, blk := range blocks {
+		w := writers[b%len(writers)]
+		if err := writeBlock(w, b, blk, t); err != nil {
+			return fmt.Errorf("block %d: %w", b, err)
+		}
+	}
+	for i, w := range writers {
+		if _, err := w.WriteAttr("time", t); err != nil {
+			return err
+		}
+		if _, err := w.WriteAttr("step", step); err != nil {
+			return err
+		}
+		if _, err := w.WriteAttr("step_id", spec.StepID(step)); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("file %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// sdsName names a block's dataset inside a snapshot file.
+func sdsName(blockID int, field string) string {
+	return fmt.Sprintf("b%04d:%s", blockID+1, field)
+}
+
+func writeBlock(w *shdf.Writer, id int, blk *mesh.TetMesh, t float64) error {
+	var members []shdf.Ref
+	add := func(ref shdf.Ref, err error) error {
+		if err != nil {
+			return err
+		}
+		members = append(members, ref)
+		return nil
+	}
+	n := blk.NumNodes()
+	e := blk.NumCells()
+	// Mesh arrays.
+	if err := add(w.WriteSDS(sdsName(id, "coords"), []int{n, 3}, blk.Coords)); err != nil {
+		return err
+	}
+	if err := add(w.WriteSDS(sdsName(id, "conn"), []int{e, 4}, blk.Tets)); err != nil {
+		return err
+	}
+	if err := add(w.WriteSDS(sdsName(id, "gids"), []int{n}, blk.GlobalNode)); err != nil {
+		return err
+	}
+	// Node-based vector fields.
+	buf := make([]float64, 3*n)
+	for _, f := range NodeVectorFields {
+		for i := 0; i < n; i++ {
+			x, y, z := NodeVector(f, blk.Node(int32(i)), t)
+			buf[3*i], buf[3*i+1], buf[3*i+2] = x, y, z
+		}
+		if err := add(w.WriteSDS(sdsName(id, f), []int{n, 3}, buf)); err != nil {
+			return err
+		}
+	}
+	// Element-based scalar fields.
+	ebuf := make([]float64, e)
+	for _, f := range ElemScalarFields {
+		for c := 0; c < e; c++ {
+			ebuf[c] = ElemScalar(f, blk.CellCentroid(c), t)
+		}
+		if err := add(w.WriteSDS(sdsName(id, f), []int{e}, ebuf)); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteVGroup(BlockID(id), members)
+	return err
+}

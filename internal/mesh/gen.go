@@ -1,0 +1,122 @@
+package mesh
+
+import "math"
+
+// AnnulusSpec parameterizes the synthetic solid-propellant geometry: a
+// cylindrical annulus (the propellant grain of a Titan-IV-class booster)
+// discretized in radius, angle and length, with an optional star-shaped
+// perforation on the inner bore like real grain cross sections.
+type AnnulusSpec struct {
+	NR, NTheta, NZ int     // elements per direction
+	RInner, ROuter float64 // bore and case radii
+	Length         float64
+	StarPoints     int     // 0 for a circular bore
+	StarDepth      float64 // fractional amplitude of the star perforation
+}
+
+// innerRadius returns the bore radius at angle theta.
+func (s AnnulusSpec) innerRadius(theta float64) float64 {
+	if s.StarPoints <= 0 || s.StarDepth == 0 {
+		return s.RInner
+	}
+	return s.RInner * (1 - s.StarDepth*0.5*(1+math.Cos(float64(s.StarPoints)*theta)))
+}
+
+// GenerateAnnulus builds a tetrahedral mesh of the annulus by laying out a
+// structured (NR+1) x NTheta x (NZ+1) grid of nodes and splitting each
+// hexahedral cell into six consistently oriented tetrahedra.
+func GenerateAnnulus(s AnnulusSpec) *TetMesh {
+	nr, nt, nz := s.NR, s.NTheta, s.NZ
+	nodesPerRing := (nr + 1) * nt
+	numNodes := nodesPerRing * (nz + 1)
+	m := &TetMesh{
+		Coords: make([]float64, 0, 3*numNodes),
+		Tets:   make([]int32, 0, 4*6*nr*nt*nz),
+	}
+	// node index: k*(nodesPerRing) + j*(nr+1) + i for z-layer k, angle j,
+	// radial line i.
+	for k := 0; k <= nz; k++ {
+		z := s.Length * float64(k) / float64(nz)
+		for j := 0; j < nt; j++ {
+			theta := 2 * math.Pi * float64(j) / float64(nt)
+			ri := s.innerRadius(theta)
+			for i := 0; i <= nr; i++ {
+				r := ri + (s.ROuter-ri)*float64(i)/float64(nr)
+				m.Coords = append(m.Coords,
+					r*math.Cos(theta), r*math.Sin(theta), z)
+			}
+		}
+	}
+	node := func(k, j, i int) int32 {
+		j = (j + nt) % nt // periodic in theta
+		return int32(k*nodesPerRing + j*(nr+1) + i)
+	}
+	// Split each hex (i..i+1, j..j+1, k..k+1) into 6 tets. The split uses
+	// the standard Kuhn triangulation along the main diagonal v0-v6, which
+	// yields consistently positive volumes for a positively oriented hex.
+	for k := 0; k < nz; k++ {
+		for j := 0; j < nt; j++ {
+			for i := 0; i < nr; i++ {
+				v := [8]int32{
+					node(k, j, i),       // 0
+					node(k, j, i+1),     // 1
+					node(k, j+1, i+1),   // 2
+					node(k, j+1, i),     // 3
+					node(k+1, j, i),     // 4
+					node(k+1, j, i+1),   // 5
+					node(k+1, j+1, i+1), // 6
+					node(k+1, j+1, i),   // 7
+				}
+				tets := [6][4]int{
+					{0, 1, 2, 6},
+					{0, 2, 3, 6},
+					{0, 3, 7, 6},
+					{0, 7, 4, 6},
+					{0, 4, 5, 6},
+					{0, 5, 1, 6},
+				}
+				for _, tt := range tets {
+					m.Tets = append(m.Tets,
+						v[tt[0]], v[tt[1]], v[tt[2]], v[tt[3]])
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Partition splits the mesh into nblocks blocks of contiguous element
+// ranges (slabs along the element ordering, which for GenerateAnnulus means
+// slabs along z). Boundary nodes shared between blocks are duplicated into
+// each block, as in the paper's GENx datasets ("120 blocks, with a small
+// amount of duplication of the boundary data"), and every block carries the
+// global node IDs of its local nodes.
+func (m *TetMesh) Partition(nblocks int) []*TetMesh {
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	ncells := m.NumCells()
+	blocks := make([]*TetMesh, 0, nblocks)
+	for b := 0; b < nblocks; b++ {
+		lo := ncells * b / nblocks
+		hi := ncells * (b + 1) / nblocks
+		blk := &TetMesh{}
+		local := make(map[int32]int32)
+		for e := lo; e < hi; e++ {
+			c := m.Cell(e)
+			for _, g := range c {
+				li, ok := local[g]
+				if !ok {
+					li = int32(len(local))
+					local[g] = li
+					p := m.Node(g)
+					blk.Coords = append(blk.Coords, p.X, p.Y, p.Z)
+					blk.GlobalNode = append(blk.GlobalNode, int64(g))
+				}
+				blk.Tets = append(blk.Tets, li)
+			}
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}

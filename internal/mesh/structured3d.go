@@ -1,0 +1,106 @@
+package mesh
+
+import "fmt"
+
+// StructuredGrid3D is a curvilinear structured grid: an NI x NJ x NK block
+// of hexahedral cells whose (NI+1)(NJ+1)(NK+1) grid points carry explicit
+// coordinates — the "non-uniform, structured" grids Rocketeer handles
+// alongside unstructured ones. The tetrahedral pipeline consumes it through
+// Tetrahedralize.
+type StructuredGrid3D struct {
+	NI, NJ, NK int
+	// Coords holds x,y,z per grid point, point (i,j,k) at index
+	// ((k*(NJ+1)+j)*(NI+1)+i).
+	Coords []float64
+}
+
+// NumPoints returns the grid point count.
+func (g *StructuredGrid3D) NumPoints() int {
+	return (g.NI + 1) * (g.NJ + 1) * (g.NK + 1)
+}
+
+// NumCells returns the hexahedral cell count.
+func (g *StructuredGrid3D) NumCells() int { return g.NI * g.NJ * g.NK }
+
+// PointIndex returns the flat index of grid point (i,j,k).
+func (g *StructuredGrid3D) PointIndex(i, j, k int) int32 {
+	return int32((k*(g.NJ+1)+j)*(g.NI+1) + i)
+}
+
+// Point returns grid point (i,j,k).
+func (g *StructuredGrid3D) Point(i, j, k int) Vec3 {
+	p := 3 * g.PointIndex(i, j, k)
+	return Vec3{X: g.Coords[p], Y: g.Coords[p+1], Z: g.Coords[p+2]}
+}
+
+// Validate checks the coordinate array length and that every cell has
+// positive volume under the Kuhn tetrahedralization.
+func (g *StructuredGrid3D) Validate() error {
+	if g.NI < 1 || g.NJ < 1 || g.NK < 1 {
+		return fmt.Errorf("%w: grid extent %dx%dx%d", ErrBadMesh, g.NI, g.NJ, g.NK)
+	}
+	if len(g.Coords) != 3*g.NumPoints() {
+		return fmt.Errorf("%w: %d coordinates for %d points", ErrBadMesh, len(g.Coords), g.NumPoints())
+	}
+	m := g.Tetrahedralize()
+	return m.Validate()
+}
+
+// Tetrahedralize splits every hex cell into six tetrahedra along its main
+// diagonal (the same Kuhn split GenerateAnnulus uses), producing a TetMesh
+// that shares the grid's point ordering, so node-based fields carry over
+// index-for-index.
+func (g *StructuredGrid3D) Tetrahedralize() *TetMesh {
+	m := &TetMesh{
+		Coords: g.Coords,
+		Tets:   make([]int32, 0, 4*6*g.NumCells()),
+	}
+	for k := 0; k < g.NK; k++ {
+		for j := 0; j < g.NJ; j++ {
+			for i := 0; i < g.NI; i++ {
+				v := [8]int32{
+					g.PointIndex(i, j, k),
+					g.PointIndex(i+1, j, k),
+					g.PointIndex(i+1, j+1, k),
+					g.PointIndex(i, j+1, k),
+					g.PointIndex(i, j, k+1),
+					g.PointIndex(i+1, j, k+1),
+					g.PointIndex(i+1, j+1, k+1),
+					g.PointIndex(i, j+1, k+1),
+				}
+				tets := [6][4]int{
+					{0, 1, 2, 6},
+					{0, 2, 3, 6},
+					{0, 3, 7, 6},
+					{0, 7, 4, 6},
+					{0, 4, 5, 6},
+					{0, 5, 1, 6},
+				}
+				for _, tt := range tets {
+					m.Tets = append(m.Tets, v[tt[0]], v[tt[1]], v[tt[2]], v[tt[3]])
+				}
+			}
+		}
+	}
+	return m
+}
+
+// CurvilinearGrid builds a structured grid by evaluating a mapping from
+// unit-cube parameters (u,v,w in [0,1]) to physical space — e.g. a
+// stretched, sheared or annular block.
+func CurvilinearGrid(ni, nj, nk int, f func(u, v, w float64) Vec3) *StructuredGrid3D {
+	g := &StructuredGrid3D{NI: ni, NJ: nj, NK: nk}
+	g.Coords = make([]float64, 0, 3*g.NumPoints())
+	for k := 0; k <= nk; k++ {
+		w := float64(k) / float64(nk)
+		for j := 0; j <= nj; j++ {
+			v := float64(j) / float64(nj)
+			for i := 0; i <= ni; i++ {
+				u := float64(i) / float64(ni)
+				p := f(u, v, w)
+				g.Coords = append(g.Coords, p.X, p.Y, p.Z)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,98 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+// unitBox returns a uniform ni x nj x nk grid of the unit cube.
+func unitBox(ni, nj, nk int) *StructuredGrid3D {
+	return CurvilinearGrid(ni, nj, nk, func(u, v, w float64) Vec3 {
+		return Vec3{X: u, Y: v, Z: w}
+	})
+}
+
+func TestStructuredGridBasics(t *testing.T) {
+	g := unitBox(3, 2, 4)
+	if g.NumPoints() != 4*3*5 || g.NumCells() != 3*2*4 {
+		t.Fatalf("points %d cells %d", g.NumPoints(), g.NumCells())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p := g.Point(3, 2, 4); p != (Vec3{X: 1, Y: 1, Z: 1}) {
+		t.Fatalf("corner point = %v", p)
+	}
+	if p := g.Point(0, 0, 0); p != (Vec3{}) {
+		t.Fatalf("origin = %v", p)
+	}
+}
+
+func TestTetrahedralizeVolume(t *testing.T) {
+	g := unitBox(4, 4, 4)
+	m := g.Tetrahedralize()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 6*g.NumCells() {
+		t.Fatalf("%d tets from %d hexes", m.NumCells(), g.NumCells())
+	}
+	if m.NumNodes() != g.NumPoints() {
+		t.Fatalf("tet mesh has %d nodes, grid %d points", m.NumNodes(), g.NumPoints())
+	}
+	if v := m.TotalVolume(); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("unit cube volume = %v", v)
+	}
+}
+
+func TestCurvilinearSheared(t *testing.T) {
+	// A sheared, stretched block still tetrahedralizes with positive
+	// volumes and the analytically correct total.
+	g := CurvilinearGrid(5, 3, 2, func(u, v, w float64) Vec3 {
+		return Vec3{X: 2*u + 0.3*v, Y: v, Z: 0.5*w + 0.1*u}
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Tetrahedralize()
+	// Volume of the linear map of the unit cube = |det| = 2*1*0.5.
+	if v := m.TotalVolume(); math.Abs(v-1.0) > 1e-9 {
+		t.Fatalf("sheared volume = %v, want 1", v)
+	}
+}
+
+func TestStructuredGridValidation(t *testing.T) {
+	g := unitBox(2, 2, 2)
+	g.Coords = g.Coords[:10]
+	if err := g.Validate(); err == nil {
+		t.Fatal("short coords accepted")
+	}
+	bad := &StructuredGrid3D{NI: 0, NJ: 1, NK: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero extent accepted")
+	}
+	// An inverted cell (negative Jacobian) must fail validation.
+	inv := CurvilinearGrid(2, 2, 2, func(u, v, w float64) Vec3 {
+		return Vec3{X: -u, Y: v, Z: w}
+	})
+	if err := inv.Validate(); err == nil {
+		t.Fatal("inverted grid accepted")
+	}
+}
+
+// Node fields carry over index-for-index: interpolate z over the tet mesh
+// and compare with the grid points.
+func TestFieldCarriesOver(t *testing.T) {
+	g := unitBox(3, 3, 3)
+	m := g.Tetrahedralize()
+	field := make([]float64, m.NumNodes())
+	for i := 0; i < m.NumNodes(); i++ {
+		field[i] = m.Node(int32(i)).Z
+	}
+	for k := 0; k <= 3; k++ {
+		want := float64(k) / 3
+		if got := field[g.PointIndex(1, 2, k)]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("field at layer %d = %v, want %v", k, got, want)
+		}
+	}
+}

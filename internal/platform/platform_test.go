@@ -1,0 +1,210 @@
+package platform
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSpec is a fast, deterministic spec for unit tests.
+func testSpec(ncpu int) Spec {
+	return Spec{
+		Name:          "test",
+		NumCPU:        ncpu,
+		CPUSpeed:      1.0,
+		RenderSpeed:   2.0,
+		DiskBandwidth: 100e6,
+		DiskSeek:      10 * time.Millisecond,
+		DiskOpen:      5 * time.Millisecond,
+		DecodeRate:    50e6,
+		Quantum:       5 * time.Millisecond,
+		CtxSwitch:     0,
+	}
+}
+
+// wallTime runs fn and returns its wall-clock duration.
+func wallTime(fn func()) time.Duration {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}
+
+// within checks d is in [lo, hi]; timing tests use wide tolerances so they
+// stay robust on loaded hosts.
+func within(t *testing.T, what string, d, lo, hi time.Duration) {
+	t.Helper()
+	if d < lo || d > hi {
+		t.Fatalf("%s took %v, want within [%v, %v]", what, d, lo, hi)
+	}
+}
+
+func TestComputeDuration(t *testing.T) {
+	m := New(testSpec(1), 1.0)
+	d := wallTime(func() { m.Compute(60 * time.Millisecond) })
+	within(t, "Compute(60ms)", d, 50*time.Millisecond, 160*time.Millisecond)
+	if got := m.CPUBusy(); got < 60*time.Millisecond {
+		t.Fatalf("CPUBusy = %v, want >= 60ms", got)
+	}
+}
+
+func TestComputeSpeedScaling(t *testing.T) {
+	spec := testSpec(1)
+	spec.CPUSpeed = 2.0 // twice as fast: 80ms of work takes 40ms
+	m := New(spec, 1.0)
+	d := wallTime(func() { m.Compute(80 * time.Millisecond) })
+	within(t, "Compute at 2x speed", d, 30*time.Millisecond, 90*time.Millisecond)
+}
+
+func TestRenderSpeedSeparate(t *testing.T) {
+	m := New(testSpec(1), 1.0) // RenderSpeed 2.0
+	d := wallTime(func() { m.ComputeRender(80 * time.Millisecond) })
+	within(t, "ComputeRender at 2x", d, 30*time.Millisecond, 90*time.Millisecond)
+}
+
+func TestTimeScale(t *testing.T) {
+	m := New(testSpec(1), 0.1) // 10x faster than real time
+	d := wallTime(func() { m.Compute(200 * time.Millisecond) })
+	within(t, "Compute(200ms virtual at 0.1 scale)", d, 15*time.Millisecond, 80*time.Millisecond)
+	if v := m.Virtual(20 * time.Millisecond); v != 200*time.Millisecond {
+		t.Fatalf("Virtual(20ms) = %v, want 200ms", v)
+	}
+}
+
+// Two tasks on one CPU must serialize (round-robin): combined wall time is
+// about the sum of their demands. On two CPUs they run in parallel.
+func TestCPUContention(t *testing.T) {
+	run := func(ncpu int) time.Duration {
+		m := New(testSpec(ncpu), 1.0)
+		var wg sync.WaitGroup
+		return wallTime(func() {
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					m.Compute(60 * time.Millisecond)
+				}()
+			}
+			wg.Wait()
+		})
+	}
+	serial := run(1)
+	parallel := run(2)
+	within(t, "2 tasks on 1 CPU", serial, 100*time.Millisecond, 250*time.Millisecond)
+	within(t, "2 tasks on 2 CPUs", parallel, 50*time.Millisecond, 110*time.Millisecond)
+	if parallel >= serial {
+		t.Fatalf("no speedup from second CPU: 1cpu=%v 2cpu=%v", serial, parallel)
+	}
+}
+
+// Disk transfers must not occupy a CPU: a compute task and a disk read on a
+// one-CPU machine overlap fully.
+func TestDiskOverlapsCompute(t *testing.T) {
+	m := New(testSpec(1), 1.0)
+	var wg sync.WaitGroup
+	d := wallTime(func() {
+		wg.Add(2)
+		go func() { defer wg.Done(); m.Compute(80 * time.Millisecond) }()
+		go func() { defer wg.Done(); m.DiskRead(8_000_000, 0) }() // 80ms at 100MB/s
+		wg.Wait()
+	})
+	within(t, "compute||disk on 1 CPU", d, 70*time.Millisecond, 150*time.Millisecond)
+}
+
+// Two disk readers serialize on the single spindle.
+func TestDiskSerializes(t *testing.T) {
+	m := New(testSpec(2), 1.0)
+	var wg sync.WaitGroup
+	d := wallTime(func() {
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); m.DiskRead(5_000_000, 0) }() // 50ms each
+			wg.Wait()
+		}
+	})
+	_ = d
+	stats := m.Disk()
+	if stats.Bytes != 10_000_000 {
+		t.Fatalf("Disk.Bytes = %d, want 10000000", stats.Bytes)
+	}
+	if stats.Busy < 100*time.Millisecond {
+		t.Fatalf("Disk.Busy = %v, want >= 100ms", stats.Busy)
+	}
+}
+
+func TestDiskSeekAndOpenAccounting(t *testing.T) {
+	m := New(testSpec(1), 0.1)
+	m.DiskRead(1_000_000, 3)
+	m.DiskOpen()
+	s := m.Disk()
+	if s.Seeks != 3 || s.Opens != 1 || s.Bytes != 1_000_000 {
+		t.Fatalf("disk stats = %+v", s)
+	}
+	wantBusy := 10*time.Millisecond + 3*10*time.Millisecond + 5*time.Millisecond
+	if s.Busy != wantBusy {
+		t.Fatalf("Disk.Busy = %v, want %v", s.Busy, wantBusy)
+	}
+}
+
+func TestDecodeChargesCPU(t *testing.T) {
+	m := New(testSpec(1), 1.0)
+	d := wallTime(func() { m.Decode(2_500_000) }) // 50ms at 50MB/s
+	within(t, "Decode(2.5MB)", d, 40*time.Millisecond, 120*time.Millisecond)
+	if m.Decode(0); m.CPUBusy() < 50*time.Millisecond {
+		t.Fatalf("CPUBusy = %v after decode", m.CPUBusy())
+	}
+}
+
+// The paper's key effect: on one CPU a background decode steals cycles from
+// computation (they serialize); on two CPUs the decode hides behind it.
+func TestDecodeContentionMatchesPaperEffect(t *testing.T) {
+	run := func(ncpu int) time.Duration {
+		m := New(testSpec(ncpu), 1.0)
+		var wg sync.WaitGroup
+		return wallTime(func() {
+			wg.Add(2)
+			go func() { defer wg.Done(); m.Compute(70 * time.Millisecond) }()
+			go func() { defer wg.Done(); m.Decode(3_500_000) }() // 70ms of CPU
+			wg.Wait()
+		})
+	}
+	one := run(1)
+	two := run(2)
+	if one < 120*time.Millisecond {
+		t.Fatalf("decode hid behind compute on a single CPU: %v", one)
+	}
+	if two > 115*time.Millisecond {
+		t.Fatalf("decode failed to hide on a dual CPU: %v", two)
+	}
+}
+
+func TestLoadStops(t *testing.T) {
+	m := New(testSpec(2), 0.05)
+	stop := m.Load()
+	time.Sleep(20 * time.Millisecond)
+	stop() // must return promptly and not leak the goroutine
+	busy := m.CPUBusy()
+	if busy == 0 {
+		t.Fatal("load generator consumed no CPU")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := m.CPUBusy(); got != busy {
+		t.Fatalf("load generator still running after stop: %v -> %v", busy, got)
+	}
+}
+
+func TestElapsedUsesScale(t *testing.T) {
+	m := New(testSpec(1), 0.01)
+	time.Sleep(10 * time.Millisecond)
+	if e := m.Elapsed(); e < 500*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want about 1s of virtual time", e)
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero scale did not panic")
+		}
+	}()
+	New(testSpec(1), 0)
+}

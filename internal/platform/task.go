@@ -1,0 +1,171 @@
+package platform
+
+import "time"
+
+// Host sleep timers have a granularity floor (around a millisecond on many
+// kernels), so paying every small charge with its own sleep would inflate
+// scaled virtual time badly. A Task therefore accumulates charge debt and
+// pays it in lumps of at least lumpWall of wall time, holding the resource
+// (CPU token or disk) for the whole lump, which preserves aggregate
+// occupancy and contention while keeping the per-sleep overshoot error at a
+// few percent.
+const (
+	lumpWall    = 5 * time.Millisecond  // target wall duration per paid lump
+	maxLumpWall = 20 * time.Millisecond // slice ceiling for fairness
+)
+
+// Task is one logical thread of activity on a machine — e.g. a Voyager
+// main thread, or the GODIVA I/O thread. It batches small CPU and disk
+// charges into lump payments. A Task must be used by one goroutine at a
+// time; different goroutines use different Tasks of the same Machine and
+// contend through it.
+type Task struct {
+	m        *Machine
+	cpuDebt  time.Duration // CPU occupancy owed (already speed-adjusted)
+	diskDebt time.Duration // disk occupancy owed
+}
+
+// NewTask creates a task on the machine.
+func (m *Machine) NewTask() *Task { return &Task{m: m} }
+
+// lumpVirtual returns the debt level at which a lump is paid.
+func (t *Task) lumpVirtual() time.Duration {
+	return time.Duration(float64(lumpWall) / t.m.scale)
+}
+
+// Compute charges d of computation at general CPU speed.
+func (t *Task) Compute(d time.Duration) { t.chargeCPU(d, t.m.spec.CPUSpeed) }
+
+// ComputeRender charges d of computation on the graphics path.
+func (t *Task) ComputeRender(d time.Duration) { t.chargeCPU(d, t.m.spec.RenderSpeed) }
+
+// Decode charges the CPU cost of decoding n bytes of scientific-format
+// data.
+func (t *Task) Decode(n int64) {
+	if n <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / t.m.spec.DecodeRate * float64(time.Second))
+	t.chargeCPU(d, t.m.spec.CPUSpeed)
+}
+
+// DecodeRaw charges the (much smaller) CPU cost of reading n bytes of plain
+// binary data: essentially memory copies.
+func (t *Task) DecodeRaw(n int64) {
+	if n <= 0 {
+		return
+	}
+	rate := t.m.spec.RawDecodeRate
+	if rate <= 0 {
+		rate = t.m.spec.DecodeRate
+	}
+	d := time.Duration(float64(n) / rate * float64(time.Second))
+	t.chargeCPU(d, t.m.spec.CPUSpeed)
+}
+
+func (t *Task) chargeCPU(d time.Duration, speed float64) {
+	if d <= 0 {
+		return
+	}
+	occ := time.Duration(float64(d) / speed)
+	t.m.addCPUBusy(occ)
+	t.cpuDebt += occ
+	if t.cpuDebt >= t.lumpVirtual() {
+		t.payCPU()
+	}
+}
+
+// payCPU pays the accumulated CPU debt in bounded slices, releasing the CPU
+// between slices so concurrent tasks time-share fairly (the slice is the
+// larger of the spec quantum and the smallest slice the host timer can pay
+// accurately).
+func (t *Task) payCPU() {
+	debt := t.cpuDebt
+	t.cpuDebt = 0
+	maxSlice := t.m.spec.Quantum
+	if ms := time.Duration(float64(lumpWall) / t.m.scale); ms > maxSlice {
+		maxSlice = ms
+	}
+	for debt > 0 {
+		slice := maxSlice
+		if slice > debt {
+			slice = debt
+		}
+		slice += t.m.acquireCPU()
+		t.m.sleepVirtual(slice)
+		t.m.releaseCPU()
+		debt -= maxSlice
+	}
+}
+
+// DiskRead charges the transfer of n bytes plus seeks. Byte and seek counts
+// are recorded immediately; occupancy is paid in lumps.
+func (t *Task) DiskRead(n int64, seeks int) {
+	d := time.Duration(float64(n) / t.m.spec.DiskBandwidth * float64(time.Second))
+	d += time.Duration(seeks) * t.m.spec.DiskSeek
+	t.m.recordDisk(n, int64(seeks), 0, d)
+	t.diskDebt += d
+	if t.diskDebt >= t.lumpVirtual() {
+		t.payDisk()
+	}
+}
+
+// DiskOpen charges one file-open overhead.
+func (t *Task) DiskOpen() {
+	t.m.recordDisk(0, 0, 1, t.m.spec.DiskOpen)
+	t.diskDebt += t.m.spec.DiskOpen
+	if t.diskDebt >= t.lumpVirtual() {
+		t.payDisk()
+	}
+}
+
+// payDisk occupies the disk for the accumulated debt.
+func (t *Task) payDisk() {
+	debt := t.diskDebt
+	t.diskDebt = 0
+	t.m.diskMu.Lock()
+	t.m.sleepVirtual(debt)
+	t.m.diskMu.Unlock()
+}
+
+// Occupy runs fn while holding a CPU token. Real (unscaled) computation in
+// an experiment — the actual Go filter and raster work on the reduced data —
+// takes wall time that is virtual time like any other; holding the token
+// makes it occupy a simulated CPU so concurrent simulated work (the I/O
+// thread's decode) cannot hide beneath it on a single-CPU machine. fn must
+// not charge this task (payment would re-acquire the token).
+func (t *Task) Occupy(fn func()) {
+	t.m.acquireCPU()
+	fn()
+	t.m.releaseCPU()
+}
+
+// softFloor is the smallest wall-time debt worth its own sleep: paying less
+// than the host timer floor would inflate rather than settle.
+const softFloor = 2 * time.Millisecond
+
+// Settle pays outstanding debts that are large enough to sleep accurately;
+// smaller remainders are carried to the next charge or Flush. Call it at
+// the end of fine-grained timed sections (individual read calls).
+func (t *Task) Settle() {
+	floor := time.Duration(float64(softFloor) / t.m.scale)
+	if t.diskDebt >= floor {
+		t.payDisk()
+	}
+	if t.cpuDebt >= floor {
+		t.payCPU()
+	}
+}
+
+// Flush pays all outstanding debt unconditionally. Call it at coarse
+// accounting boundaries — the end of a unit read, the end of a snapshot,
+// the end of a run — so deferred occupancy lands on the right side of the
+// measurement.
+func (t *Task) Flush() {
+	if t.diskDebt > 0 {
+		t.payDisk()
+	}
+	if t.cpuDebt > 0 {
+		t.payCPU()
+	}
+}

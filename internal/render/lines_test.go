@@ -1,0 +1,141 @@
+package render
+
+import (
+	"testing"
+
+	"godiva/internal/mesh"
+	"godiva/internal/vis"
+)
+
+func lineSet(points [][3]float64, scalars []float64) *vis.LineSet {
+	ls := &vis.LineSet{Offsets: []int32{0, int32(len(points))}}
+	for i, p := range points {
+		ls.Points = append(ls.Points, p[0], p[1], p[2])
+		ls.Scalars = append(ls.Scalars, scalars[i])
+	}
+	return ls
+}
+
+func frontCamera() Camera {
+	return Camera{
+		Eye: mesh.Vec3{Z: -3}, LookAt: mesh.Vec3{}, Up: mesh.Vec3{Y: 1},
+		FOVDegrees: 60, Near: 0.1, Far: 100,
+	}
+}
+
+func TestDrawLinesProducesPixels(t *testing.T) {
+	ls := lineSet([][3]float64{{-1, -1, 0}, {1, 1, 0}}, []float64{0, 1})
+	r := NewRenderer(64, 64)
+	if err := r.DrawLines(ls, frontCamera(), Rainbow{}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := countNonBackground(r); got < 30 {
+		t.Fatalf("diagonal line drew %d pixels", got)
+	}
+}
+
+func TestDrawLinesEmpty(t *testing.T) {
+	r := NewRenderer(16, 16)
+	if err := r.DrawLines(&vis.LineSet{}, frontCamera(), Rainbow{}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if countNonBackground(r) != 0 {
+		t.Fatal("empty line set drew pixels")
+	}
+}
+
+func TestLinesRespectDepth(t *testing.T) {
+	// A triangle in front must occlude a line behind it; a line in front of
+	// a triangle must show.
+	tri := &vis.TriSurface{
+		Coords:  []float64{-2, -2, 1, 2, -2, 1, 0, 2, 1},
+		Tris:    []int32{0, 1, 2},
+		Scalars: []float64{0, 0, 0}, // blue
+	}
+	behind := lineSet([][3]float64{{-1, 0, 5}, {1, 0, 5}}, []float64{1, 1}) // red
+	front := lineSet([][3]float64{{-1, 0.2, 0}, {1, 0.2, 0}}, []float64{1, 1})
+	cam := frontCamera()
+	r := NewRenderer(64, 64)
+	if err := r.DrawSurface(tri, cam, Rainbow{}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DrawLines(behind, cam, Rainbow{}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DrawLines(front, cam, Rainbow{}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Sample the center row where the hidden line would be: must be blue.
+	c := r.Image().RGBAAt(32, 32)
+	if c.R > c.B {
+		t.Fatalf("hidden line visible through surface: %v", c)
+	}
+	// The front line's row must contain red pixels.
+	foundRed := false
+	for x := 0; x < 64; x++ {
+		for y := 25; y < 35; y++ {
+			c := r.Image().RGBAAt(x, y)
+			if c.R > 200 && c.B < 100 {
+				foundRed = true
+			}
+		}
+	}
+	if !foundRed {
+		t.Fatal("front line not drawn over surface")
+	}
+}
+
+func TestDepthBiasShowsLinesOnSurface(t *testing.T) {
+	// A line at exactly the surface depth must win thanks to the bias —
+	// the streamline-over-geometry case.
+	tri := &vis.TriSurface{
+		Coords:  []float64{-2, -2, 1, 2, -2, 1, 0, 2, 1},
+		Tris:    []int32{0, 1, 2},
+		Scalars: []float64{0, 0, 0},
+	}
+	onIt := lineSet([][3]float64{{-0.5, 0, 1}, {0.5, 0, 1}}, []float64{1, 1})
+	cam := frontCamera()
+	r := NewRenderer(64, 64)
+	if err := r.DrawSurface(tri, cam, Rainbow{}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DrawLines(onIt, cam, Rainbow{}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	foundRed := false
+	for x := 0; x < 64; x++ {
+		c := r.Image().RGBAAt(x, 32)
+		if c.R > 200 && c.B < 100 {
+			foundRed = true
+		}
+	}
+	if !foundRed {
+		t.Fatal("coplanar line z-fought the surface away")
+	}
+}
+
+func TestDrawColorbar(t *testing.T) {
+	r := NewRenderer(120, 90)
+	r.DrawColorbar(Rainbow{})
+	// Top of the bar is red (t=1), bottom blue (t=0).
+	x := 120 - 120/24 - 2
+	top := r.Image().RGBAAt(x, 90/12+1)
+	bottom := r.Image().RGBAAt(x, 90-90/12-2)
+	if top.R < 200 || top.B > 100 {
+		t.Fatalf("colorbar top = %v, want red", top)
+	}
+	if bottom.B < 200 || bottom.R > 100 {
+		t.Fatalf("colorbar bottom = %v, want blue", bottom)
+	}
+}
+
+func TestLinesBehindCameraSkipped(t *testing.T) {
+	ls := lineSet([][3]float64{{0, 0, -10}, {1, 0, -10}}, []float64{1, 1})
+	r := NewRenderer(32, 32)
+	if err := r.DrawLines(ls, frontCamera(), Rainbow{}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if countNonBackground(r) != 0 {
+		t.Fatal("line behind camera drawn")
+	}
+}

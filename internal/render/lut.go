@@ -1,0 +1,77 @@
+package render
+
+import "math"
+
+// LUT maps a normalized scalar in [0, 1] to an RGB color in [0, 1]^3, the
+// "color scale" of the paper's interactive sessions.
+type LUT interface {
+	Color(t float64) (r, g, b float64)
+	Name() string
+}
+
+// Rainbow is the classic blue-to-red scientific color map.
+type Rainbow struct{}
+
+// Name returns "rainbow".
+func (Rainbow) Name() string { return "rainbow" }
+
+// Color maps t through hue 240° (blue) to 0° (red).
+func (Rainbow) Color(t float64) (r, g, b float64) {
+	t = clamp01(t)
+	hue := (1 - t) * 240 / 360
+	return hsv(hue, 1, 1)
+}
+
+// Grayscale maps t to luminance.
+type Grayscale struct{}
+
+// Name returns "grayscale".
+func (Grayscale) Name() string { return "grayscale" }
+
+// Color returns (t, t, t).
+func (Grayscale) Color(t float64) (r, g, b float64) {
+	t = clamp01(t)
+	return t, t, t
+}
+
+// CoolWarm is a diverging blue-white-red map for signed quantities.
+type CoolWarm struct{}
+
+// Name returns "coolwarm".
+func (CoolWarm) Name() string { return "coolwarm" }
+
+// Color interpolates blue → white → red.
+func (CoolWarm) Color(t float64) (r, g, b float64) {
+	t = clamp01(t)
+	if t < 0.5 {
+		u := t * 2
+		return 0.23 + u*0.77, 0.3 + u*0.7, 0.75 + u*0.25
+	}
+	u := (t - 0.5) * 2
+	return 1, 1 - u*0.7, 1 - u*0.85
+}
+
+// hsv converts hue (in turns), saturation, value to RGB.
+func hsv(h, s, v float64) (r, g, b float64) {
+	h = h - math.Floor(h)
+	h *= 6
+	i := int(h)
+	f := h - float64(i)
+	p := v * (1 - s)
+	q := v * (1 - s*f)
+	t := v * (1 - s*(1-f))
+	switch i % 6 {
+	case 0:
+		return v, t, p
+	case 1:
+		return q, v, p
+	case 2:
+		return p, v, t
+	case 3:
+		return p, q, v
+	case 4:
+		return t, p, v
+	default:
+		return v, p, q
+	}
+}

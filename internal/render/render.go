@@ -1,0 +1,266 @@
+// Package render is a small software renderer for the reproduction's
+// Voyager: perspective camera, z-buffered triangle rasterization with
+// Gouraud shading and scalar color mapping, and PNG output. It stands in
+// for the hardware/VTK rendering path of the paper's Rocketeer suite.
+package render
+
+import (
+	"errors"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"os"
+
+	"godiva/internal/mesh"
+	"godiva/internal/vis"
+)
+
+// ErrBadSurface is returned when a surface is missing what rendering needs.
+var ErrBadSurface = errors.New("render: surface not renderable")
+
+// Camera is a perspective look-at camera, the counterpart of the camera
+// position file a Rocketeer interactive session saves for Voyager.
+type Camera struct {
+	Eye, LookAt, Up mesh.Vec3
+	FOVDegrees      float64 // vertical field of view
+	Near, Far       float64
+}
+
+// DefaultCamera frames the given bounding box from an oblique direction.
+func DefaultCamera(lo, hi mesh.Vec3) Camera {
+	center := lo.Add(hi).Scale(0.5)
+	diag := hi.Sub(lo).Norm()
+	eye := center.Add(mesh.Vec3{X: 0.9, Y: 0.65, Z: 0.7}.Scale(diag * 1.1))
+	return Camera{
+		Eye: eye, LookAt: center, Up: mesh.Vec3{Z: 1},
+		FOVDegrees: 40, Near: diag * 0.01, Far: diag * 10,
+	}
+}
+
+// mat4 is a row-major 4x4 transform.
+type mat4 [16]float64
+
+func (m mat4) mul(n mat4) mat4 {
+	var out mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += m[4*r+k] * n[4*k+c]
+			}
+			out[4*r+c] = s
+		}
+	}
+	return out
+}
+
+// xform applies m to (p, 1) and returns the homogeneous result.
+func (m mat4) xform(p mesh.Vec3) (x, y, z, w float64) {
+	x = m[0]*p.X + m[1]*p.Y + m[2]*p.Z + m[3]
+	y = m[4]*p.X + m[5]*p.Y + m[6]*p.Z + m[7]
+	z = m[8]*p.X + m[9]*p.Y + m[10]*p.Z + m[11]
+	w = m[12]*p.X + m[13]*p.Y + m[14]*p.Z + m[15]
+	return
+}
+
+// viewMatrix builds the world-to-camera transform.
+func (c Camera) viewMatrix() mat4 {
+	f := c.LookAt.Sub(c.Eye).Normalize() // forward
+	s := f.Cross(c.Up.Normalize()).Normalize()
+	u := s.Cross(f)
+	return mat4{
+		s.X, s.Y, s.Z, -s.Dot(c.Eye),
+		u.X, u.Y, u.Z, -u.Dot(c.Eye),
+		-f.X, -f.Y, -f.Z, f.Dot(c.Eye),
+		0, 0, 0, 1,
+	}
+}
+
+// projMatrix builds the perspective projection.
+func (c Camera) projMatrix(aspect float64) mat4 {
+	fov := c.FOVDegrees * math.Pi / 180
+	t := 1 / math.Tan(fov/2)
+	n, f := c.Near, c.Far
+	return mat4{
+		t / aspect, 0, 0, 0,
+		0, t, 0, 0,
+		0, 0, (f + n) / (n - f), 2 * f * n / (n - f),
+		0, 0, -1, 0,
+	}
+}
+
+// Renderer rasterizes surfaces into an RGBA image with a z-buffer.
+type Renderer struct {
+	W, H  int
+	img   *image.RGBA
+	depth []float64
+	// Light is the directional light (pointing from the scene toward the
+	// light); shading is two-sided.
+	Light mesh.Vec3
+	// Ambient is the ambient light fraction.
+	Ambient float64
+	// TrisDrawn counts rasterized (non-culled) triangles.
+	TrisDrawn int64
+}
+
+// NewRenderer creates a renderer with a dark background.
+func NewRenderer(w, h int) *Renderer {
+	r := &Renderer{
+		W: w, H: h,
+		img:     image.NewRGBA(image.Rect(0, 0, w, h)),
+		depth:   make([]float64, w*h),
+		Light:   mesh.Vec3{X: 0.4, Y: 0.3, Z: 0.85}.Normalize(),
+		Ambient: 0.25,
+	}
+	r.Clear()
+	return r
+}
+
+// Clear resets the image and depth buffer.
+func (r *Renderer) Clear() {
+	for i := range r.depth {
+		r.depth[i] = math.Inf(1)
+	}
+	bg := color.RGBA{18, 18, 24, 255}
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			r.img.SetRGBA(x, y, bg)
+		}
+	}
+	r.TrisDrawn = 0
+}
+
+// Image returns the rendered image.
+func (r *Renderer) Image() *image.RGBA { return r.img }
+
+// WritePNG encodes the image to path.
+func (r *Renderer) WritePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(f, r.img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DrawSurface rasterizes a surface with Gouraud shading, mapping Scalars
+// through the lookup table over [lo, hi]. Surfaces without normals get them
+// computed; surfaces without scalars render in the LUT's midpoint color.
+func (r *Renderer) DrawSurface(s *vis.TriSurface, cam Camera, lut LUT, lo, hi float64) error {
+	if s.NumTris() == 0 {
+		return nil
+	}
+	if len(s.Coords) == 0 {
+		return ErrBadSurface
+	}
+	if s.Normals == nil {
+		vis.ComputeNormals(s)
+	}
+	vp := cam.projMatrix(float64(r.W) / float64(r.H)).mul(cam.viewMatrix())
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+
+	nv := s.NumVerts()
+	sx := make([]float64, nv)
+	sy := make([]float64, nv)
+	sz := make([]float64, nv)
+	ok := make([]bool, nv)
+	shade := make([]float64, nv)
+	cr := make([]float64, nv)
+	cg := make([]float64, nv)
+	cb := make([]float64, nv)
+	for i := 0; i < nv; i++ {
+		x, y, z, w := vp.xform(s.Vert(int32(i)))
+		if w <= 0 {
+			continue // behind the camera
+		}
+		ok[i] = true
+		sx[i] = (x/w + 1) / 2 * float64(r.W)
+		sy[i] = (1 - y/w) / 2 * float64(r.H)
+		sz[i] = z / w
+		n := mesh.Vec3{X: s.Normals[3*i], Y: s.Normals[3*i+1], Z: s.Normals[3*i+2]}
+		diffuse := math.Abs(n.Dot(r.Light)) // two-sided
+		shade[i] = r.Ambient + (1-r.Ambient)*diffuse
+		t := 0.5
+		if s.Scalars != nil {
+			t = (s.Scalars[i] - lo) / span
+		}
+		rr, gg, bb := lut.Color(t)
+		cr[i], cg[i], cb[i] = rr, gg, bb
+	}
+
+	for t := 0; t < s.NumTris(); t++ {
+		i0, i1, i2 := s.Tris[3*t], s.Tris[3*t+1], s.Tris[3*t+2]
+		if !ok[i0] || !ok[i1] || !ok[i2] {
+			continue
+		}
+		r.rasterize(
+			sx[i0], sy[i0], sz[i0], cr[i0]*shade[i0], cg[i0]*shade[i0], cb[i0]*shade[i0],
+			sx[i1], sy[i1], sz[i1], cr[i1]*shade[i1], cg[i1]*shade[i1], cb[i1]*shade[i1],
+			sx[i2], sy[i2], sz[i2], cr[i2]*shade[i2], cg[i2]*shade[i2], cb[i2]*shade[i2],
+		)
+	}
+	return nil
+}
+
+// rasterize fills one screen-space triangle with barycentric interpolation
+// of depth and color against the z-buffer.
+func (r *Renderer) rasterize(
+	x0, y0, z0, r0, g0, b0,
+	x1, y1, z1, r1, g1, b1,
+	x2, y2, z2, r2, g2, b2 float64,
+) {
+	area := (x1-x0)*(y2-y0) - (x2-x0)*(y1-y0)
+	if area == 0 {
+		return
+	}
+	r.TrisDrawn++
+	minX := int(math.Max(0, math.Floor(min3(x0, x1, x2))))
+	maxX := int(math.Min(float64(r.W-1), math.Ceil(max3(x0, x1, x2))))
+	minY := int(math.Max(0, math.Floor(min3(y0, y1, y2))))
+	maxY := int(math.Min(float64(r.H-1), math.Ceil(max3(y0, y1, y2))))
+	inv := 1 / area
+	for py := minY; py <= maxY; py++ {
+		fy := float64(py) + 0.5
+		for px := minX; px <= maxX; px++ {
+			fx := float64(px) + 0.5
+			w0 := ((x1-fx)*(y2-fy) - (x2-fx)*(y1-fy)) * inv
+			w1 := ((x2-fx)*(y0-fy) - (x0-fx)*(y2-fy)) * inv
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			z := w0*z0 + w1*z1 + w2*z2
+			idx := py*r.W + px
+			if z >= r.depth[idx] {
+				continue
+			}
+			r.depth[idx] = z
+			rr := clamp01(w0*r0 + w1*r1 + w2*r2)
+			gg := clamp01(w0*g0 + w1*g1 + w2*g2)
+			bb := clamp01(w0*b0 + w1*b1 + w2*b2)
+			r.img.SetRGBA(px, py, color.RGBA{
+				uint8(rr*255 + 0.5), uint8(gg*255 + 0.5), uint8(bb*255 + 0.5), 255,
+			})
+		}
+	}
+}
+
+func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+func max3(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

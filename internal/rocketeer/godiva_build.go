@@ -1,0 +1,325 @@
+package rocketeer
+
+import (
+	"fmt"
+
+	"godiva/internal/core"
+	"godiva/internal/genx"
+	"godiva/internal/mesh"
+)
+
+// Names of the GODIVA schema Voyager uses: one record per block per
+// snapshot, keyed by block ID and time-step ID exactly as the paper's
+// Table 1 keys its fluid records.
+const (
+	recBlock   = "block"
+	fieldBlock = "block id"
+	fieldStep  = "time-step id"
+)
+
+// defineSchema defines the block record type: two string key fields plus a
+// buffer field for every dataset the GENx files can hold (only the fields a
+// test reads are ever allocated; UNKNOWN sizes are resolved per block).
+func defineSchema(db *core.DB) error {
+	if err := db.DefineField(fieldBlock, core.String, 11); err != nil {
+		return err
+	}
+	if err := db.DefineField(fieldStep, core.String, 9); err != nil {
+		return err
+	}
+	if err := db.DefineField("coords", core.Float64, core.Unknown); err != nil {
+		return err
+	}
+	if err := db.DefineField("conn", core.Int32, core.Unknown); err != nil {
+		return err
+	}
+	if err := db.DefineField("gids", core.Int64, core.Unknown); err != nil {
+		return err
+	}
+	for _, v := range genx.NodeVectorFields {
+		if err := db.DefineField(v, core.Float64, core.Unknown); err != nil {
+			return err
+		}
+	}
+	for _, v := range genx.ElemScalarFields {
+		if err := db.DefineField(v, core.Float64, core.Unknown); err != nil {
+			return err
+		}
+	}
+	if err := db.DefineRecordType(recBlock, 2); err != nil {
+		return err
+	}
+	fields := []struct {
+		name string
+		key  bool
+	}{{fieldBlock, true}, {fieldStep, true}, {"coords", false}, {"conn", false}, {"gids", false}}
+	for _, v := range genx.NodeVectorFields {
+		fields = append(fields, struct {
+			name string
+			key  bool
+		}{v, false})
+	}
+	for _, v := range genx.ElemScalarFields {
+		fields = append(fields, struct {
+			name string
+			key  bool
+		}{v, false})
+	}
+	for _, f := range fields {
+		if err := db.InsertField(recBlock, f.name, f.key); err != nil {
+			return err
+		}
+	}
+	return db.CommitRecordType(recBlock)
+}
+
+// unitName names a snapshot's processing unit. The whole snapshot (all of
+// its files) is one unit, the granularity the paper's Voyager chose.
+func unitName(step int) string { return fmt.Sprintf("snap_%04d", step) }
+
+// fileUnitName names a single snapshot file's unit (the finer granularity
+// of Config.UnitPerFile).
+func fileUnitName(step, file int) string { return fmt.Sprintf("snap_%04d_f%02d", step, file) }
+
+// orderedVars sorts variables into the file layout order (node vectors then
+// element scalars, catalog order), so one pass over a unit's files reads
+// sequentially with no back-seeks — the access pattern a unit read function
+// naturally has.
+func orderedVars(vars []string) []string {
+	want := map[string]bool{}
+	for _, v := range vars {
+		want[v] = true
+	}
+	out := make([]string, 0, len(vars))
+	for _, v := range genx.NodeVectorFields {
+		if want[v] {
+			out = append(out, v)
+		}
+	}
+	for _, v := range genx.ElemScalarFields {
+		if want[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// makeReadFunc builds the developer-supplied read function: it parses the
+// unit name back into a snapshot (or snapshot-file) index — the paper
+// passes the unit name to the read function for exactly this — reads every
+// block of the unit's files, and commits one record per block into the
+// database.
+func makeReadFunc(cfg Config, reader *genx.Reader) core.ReadFunc {
+	vars := orderedVars(cfg.Test.Vars)
+	return func(u *core.Unit) error {
+		var step, file int
+		var paths []string
+		if n, _ := fmt.Sscanf(u.Name(), "snap_%d_f%d", &step, &file); n == 2 {
+			paths = []string{genx.SnapshotFile(cfg.Dir, step, file)}
+		} else if n, _ := fmt.Sscanf(u.Name(), "snap_%d", &step); n == 1 {
+			paths = cfg.Spec.SnapshotFiles(cfg.Dir, step)
+		} else {
+			return fmt.Errorf("rocketeer: bad unit name %q", u.Name())
+		}
+		for _, path := range paths {
+			h, err := reader.Open(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range h.Blocks() {
+				bd, err := h.ReadBlock(e, vars)
+				if err != nil {
+					h.Close()
+					return err
+				}
+				if err := commitBlockRecord(u, bd); err != nil {
+					h.Close()
+					return err
+				}
+			}
+			if err := h.Close(); err != nil {
+				return err
+			}
+		}
+		// Pay deferred platform charges inside the unit read, so unit
+		// completion (and any WaitUnit blocked on it) sees the full cost.
+		reader.Flush()
+		return nil
+	}
+}
+
+// commitBlockRecord stores one block's datasets as a GODIVA record.
+func commitBlockRecord(u *core.Unit, bd *genx.BlockData) error {
+	rec, err := u.NewRecord(recBlock)
+	if err != nil {
+		return err
+	}
+	if err := rec.SetString(fieldBlock, bd.Name); err != nil {
+		return err
+	}
+	if err := rec.SetString(fieldStep, bd.StepID); err != nil {
+		return err
+	}
+	if err := fillFloat64(rec, "coords", bd.Mesh.Coords); err != nil {
+		return err
+	}
+	buf, err := rec.AllocFieldBuffer("conn", 4*len(bd.Mesh.Tets))
+	if err != nil {
+		return err
+	}
+	conn, err := buf.Int32s()
+	if err != nil {
+		return err
+	}
+	copy(conn, bd.Mesh.Tets)
+	buf, err = rec.AllocFieldBuffer("gids", 8*len(bd.Mesh.GlobalNode))
+	if err != nil {
+		return err
+	}
+	gids, err := buf.Int64s()
+	if err != nil {
+		return err
+	}
+	copy(gids, bd.Mesh.GlobalNode)
+	for name, data := range bd.Node {
+		if err := fillFloat64(rec, name, data); err != nil {
+			return err
+		}
+	}
+	for name, data := range bd.Elem {
+		if err := fillFloat64(rec, name, data); err != nil {
+			return err
+		}
+	}
+	return u.DB().CommitRecord(rec)
+}
+
+func fillFloat64(rec *core.Record, field string, data []float64) error {
+	buf, err := rec.AllocFieldBuffer(field, 8*len(data))
+	if err != nil {
+		return err
+	}
+	dst, err := buf.Float64s()
+	if err != nil {
+		return err
+	}
+	copy(dst, data)
+	return nil
+}
+
+// gSource answers the pipeline from GODIVA buffers: the mesh and variables
+// are fetched by key query and used in place — no copies, no re-reads.
+type gSource struct {
+	db     *core.DB
+	names  []string
+	stepID string
+}
+
+func (s *gSource) BlockNames() []string { return s.names }
+
+func (s *gSource) Mesh(name string) (*mesh.TetMesh, error) {
+	coordsBuf, err := s.db.GetFieldBuffer(recBlock, "coords", name, s.stepID)
+	if err != nil {
+		return nil, err
+	}
+	coords, err := coordsBuf.Float64s()
+	if err != nil {
+		return nil, err
+	}
+	connBuf, err := s.db.GetFieldBuffer(recBlock, "conn", name, s.stepID)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := connBuf.Int32s()
+	if err != nil {
+		return nil, err
+	}
+	gidsBuf, err := s.db.GetFieldBuffer(recBlock, "gids", name, s.stepID)
+	if err != nil {
+		return nil, err
+	}
+	gids, err := gidsBuf.Int64s()
+	if err != nil {
+		return nil, err
+	}
+	return &mesh.TetMesh{Coords: coords, Tets: conn, GlobalNode: gids}, nil
+}
+
+func (s *gSource) Var(name, field string) ([]float64, error) {
+	buf, err := s.db.GetFieldBuffer(recBlock, field, name, s.stepID)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Float64s()
+}
+
+// runGodiva is the GODIVA-based Voyager: all units are added up front and
+// processed in order, each deleted after its images are made (the paper's
+// batch-mode pattern). background selects the multi-thread library (TG)
+// over the single-thread one (G).
+func runGodiva(cfg Config, background bool) (*Result, error) {
+	db := core.Open(core.Options{
+		MemoryLimit:  cfg.memoryLimit(),
+		BackgroundIO: background,
+		TraceUnits:   cfg.TraceUnits,
+	})
+	defer db.Close()
+	if err := defineSchema(db); err != nil {
+		return nil, err
+	}
+	reader := &genx.Reader{M: cfg.Machine, VolumeScale: cfg.VolumeScale}
+	readFn := makeReadFunc(cfg, reader)
+	// snapUnits lists the unit(s) making up one snapshot: the whole
+	// snapshot by default, or one unit per file at the finer granularity.
+	snapUnits := func(s int) []string {
+		if !cfg.UnitPerFile {
+			return []string{unitName(s)}
+		}
+		units := make([]string, cfg.Spec.FilesPerSnapshot)
+		for f := range units {
+			units[f] = fileUnitName(s, f)
+		}
+		return units
+	}
+	nsnap := cfg.snapshots()
+	for i := 0; i < nsnap; i++ {
+		for _, name := range snapUnits(cfg.FirstSnapshot + i) {
+			if err := db.AddUnit(name, readFn); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &Result{}
+	names := make([]string, cfg.Spec.Blocks)
+	for b := range names {
+		names[b] = genx.BlockID(b)
+	}
+	task := cfg.mainTask()
+	for i := 0; i < nsnap; i++ {
+		s := cfg.FirstSnapshot + i
+		units := snapUnits(s)
+		for _, name := range units {
+			if err := db.WaitUnit(name); err != nil {
+				return nil, err
+			}
+		}
+		src := &gSource{db: db, names: names, stepID: cfg.Spec.StepID(s)}
+		p := cfg.newPipeline(task, fmt.Sprintf("t%04d", s))
+		if err := p.run(src); err != nil {
+			return nil, fmt.Errorf("snapshot %d: %w", s, err)
+		}
+		res.Images += p.images
+		for _, name := range units {
+			if err := db.DeleteUnit(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if task != nil {
+		task.Flush()
+	}
+	res.DB = db.Stats()
+	res.Events = db.UnitEvents()
+	res.VisibleIO = cfg.virtual(res.DB.VisibleWait)
+	return res, nil
+}

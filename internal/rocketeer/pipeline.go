@@ -1,0 +1,171 @@
+package rocketeer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"godiva/internal/mesh"
+	"godiva/internal/render"
+	"godiva/internal/vis"
+)
+
+// blockSource yields one snapshot's per-block data to the pipeline. The O
+// build reads from files on demand (re-reading coordinates every pass); the
+// GODIVA builds answer from database buffers.
+type blockSource interface {
+	// BlockNames lists the snapshot's blocks in processing order.
+	BlockNames() []string
+	// Mesh returns a block's mesh. The pipeline calls it once per pass per
+	// block, which is exactly where the original Voyager re-reads.
+	Mesh(name string) (*mesh.TetMesh, error)
+	// Var returns a block's variable: a flattened node vector or an
+	// element scalar.
+	Var(name, field string) ([]float64, error)
+}
+
+// snapshotPipeline runs every pass of a test on one snapshot and renders one
+// image per pass.
+type snapshotPipeline struct {
+	test     VisTest
+	ch       charger
+	renderer *render.Renderer
+	lut      render.LUT
+	imageDir string
+	snapID   string
+	images   int
+}
+
+func (p *snapshotPipeline) run(src blockSource) error {
+	for oi, op := range p.test.Ops {
+		if err := p.runOp(src, oi, op); err != nil {
+			return fmt.Errorf("pass %d (%v %s): %w", oi, op.Kind, op.Var, err)
+		}
+	}
+	return nil
+}
+
+// runOp executes one pass: fetch each block's mesh and variable, derive the
+// node scalar, compute the pass geometry per block, then render the
+// aggregate.
+func (p *snapshotPipeline) runOp(src blockSource, oi int, op Op) error {
+	names := src.BlockNames()
+	meshes := make([]*mesh.TetMesh, len(names))
+	scalars := make([][]float64, len(names))
+	var lo, hi float64
+	var boundsLo, boundsHi mesh.Vec3
+	first := true
+	for i, name := range names {
+		m, err := src.Mesh(name)
+		if err != nil {
+			return fmt.Errorf("block %s mesh: %w", name, err)
+		}
+		data, err := src.Var(name, op.Var)
+		if err != nil {
+			return fmt.Errorf("block %s %s: %w", name, op.Var, err)
+		}
+		ns, err := p.nodeScalar(m, op.Var, data)
+		if err != nil {
+			return err
+		}
+		meshes[i], scalars[i] = m, ns
+		blo, bhi := m.Bounds()
+		slo, shi := vis.ScalarRange(ns)
+		if first {
+			lo, hi = slo, shi
+			boundsLo, boundsHi = blo, bhi
+			first = false
+			continue
+		}
+		lo = minf(lo, slo)
+		hi = maxf(hi, shi)
+		boundsLo = mesh.Vec3{X: minf(boundsLo.X, blo.X), Y: minf(boundsLo.Y, blo.Y), Z: minf(boundsLo.Z, blo.Z)}
+		boundsHi = mesh.Vec3{X: maxf(boundsHi.X, bhi.X), Y: maxf(boundsHi.Y, bhi.Y), Z: maxf(boundsHi.Z, bhi.Z)}
+	}
+
+	agg := &vis.TriSurface{}
+	for i := range meshes {
+		var part *vis.TriSurface
+		var err error
+		p.ch.occupy(func() {
+			part, err = p.opGeometry(op, meshes[i], scalars[i], lo, hi, boundsLo, boundsHi)
+		})
+		if err != nil {
+			return err
+		}
+		p.ch.compute(opCellCost(op.Kind), meshes[i].NumCells())
+		agg.Append(part)
+	}
+
+	cam := render.DefaultCamera(boundsLo, boundsHi)
+	var drawErr error
+	p.ch.occupy(func() {
+		p.renderer.Clear()
+		drawErr = p.renderer.DrawSurface(agg, cam, p.lut, lo, hi)
+	})
+	if drawErr != nil {
+		return drawErr
+	}
+	p.ch.render(agg)
+	p.images++
+	if p.imageDir != "" {
+		name := fmt.Sprintf("%s_%s_%02d_%s_%s.png", p.test.Name, p.snapID, oi, op.Kind, op.Var)
+		if err := os.MkdirAll(p.imageDir, 0o755); err != nil {
+			return err
+		}
+		if err := p.renderer.WritePNG(filepath.Join(p.imageDir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeScalar reduces a variable to a per-node scalar: vector magnitude for
+// node vectors, cell-to-point averaging for element scalars.
+func (p *snapshotPipeline) nodeScalar(m *mesh.TetMesh, field string, data []float64) ([]float64, error) {
+	if len(data) == 3*m.NumNodes() {
+		var out []float64
+		p.ch.occupy(func() { out = vis.VectorMagnitude(data) })
+		p.ch.compute(costMagnitude, m.NumNodes())
+		return out, nil
+	}
+	if len(data) == m.NumCells() {
+		var out []float64
+		var err error
+		p.ch.occupy(func() { out, err = vis.CellToPoint(m, data) })
+		p.ch.compute(costCellToPoint, m.NumCells())
+		return out, err
+	}
+	return nil, fmt.Errorf("rocketeer: variable %s has %d values for %d nodes / %d cells",
+		field, len(data), m.NumNodes(), m.NumCells())
+}
+
+func (p *snapshotPipeline) opGeometry(op Op, m *mesh.TetMesh, ns []float64, lo, hi float64, blo, bhi mesh.Vec3) (*vis.TriSurface, error) {
+	switch op.Kind {
+	case OpSurface:
+		return vis.ExtractSurface(m, ns)
+	case OpIso:
+		iso := lo + op.IsoFrac*(hi-lo)
+		return vis.IsoSurface(m, ns, iso, ns)
+	case OpSlice:
+		return vis.SlicePlane(m, op.plane(blo, bhi), ns)
+	case OpCut:
+		return vis.CutPlane(m, op.plane(blo, bhi), ns)
+	default:
+		return nil, fmt.Errorf("rocketeer: unknown op kind %d", int(op.Kind))
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

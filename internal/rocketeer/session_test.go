@@ -1,0 +1,115 @@
+package rocketeer
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func newTestSession(t *testing.T, imageDir string) *Session {
+	t.Helper()
+	spec, dir := testDataset(t)
+	s, err := NewSession(SessionConfig{
+		Spec: spec, Dir: dir,
+		ImageDir: imageDir, Width: 64, Height: 48,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestSessionViewAndRevisit(t *testing.T) {
+	imgDir := t.TempDir()
+	s := newTestSession(t, imgDir)
+
+	v1, err := s.View(0, "surface", "velocity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.CacheHit {
+		t.Fatal("first view reported a cache hit")
+	}
+	if v1.Image == "" {
+		t.Fatal("no image path")
+	}
+	if _, err := os.Stat(v1.Image); err != nil {
+		t.Fatalf("image not written: %v", err)
+	}
+	// A different feature on the same snapshot: must be served from cache.
+	v2, err := s.View(0, "iso", "stress_avg", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.CacheHit {
+		t.Fatal("revisit missed the cache")
+	}
+	if !strings.Contains(v2.Image, "isosurface") {
+		t.Fatalf("image name %q", v2.Image)
+	}
+	// Another snapshot, then back: still cached (ample memory).
+	if _, err := s.View(1, "slice", "temperature", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	v4, err := s.View(0, "cut", "temperature", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v4.CacheHit {
+		t.Fatal("return to snapshot 0 missed the cache")
+	}
+	st := s.Stats()
+	if st.UnitsRead != 2 || st.CacheHits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSessionDropForcesReread(t *testing.T) {
+	s := newTestSession(t, "")
+	if _, err := s.View(0, "surface", "velocity", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop(0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.View(0, "surface", "velocity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CacheHit {
+		t.Fatal("dropped snapshot served from cache")
+	}
+}
+
+func TestSessionMemoryPressureEvicts(t *testing.T) {
+	s := newTestSession(t, "")
+	if _, err := s.View(0, "surface", "velocity", 0); err != nil {
+		t.Fatal(err)
+	}
+	used := s.Stats().PeakBytes
+	// Cap to about 1.5 snapshots: viewing two more must evict.
+	s.SetMemSpace(used + used/2)
+	if _, err := s.View(1, "surface", "velocity", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.View(2, "surface", "velocity", 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().UnitsEvicted == 0 {
+		t.Fatal("no evictions under memory pressure")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	s := newTestSession(t, "")
+	if _, err := s.View(99, "surface", "velocity", 0); err == nil {
+		t.Fatal("out-of-range step accepted")
+	}
+	if _, err := s.View(0, "hologram", "velocity", 0); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+	if _, err := s.View(0, "surface", "vorticity", 0); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}

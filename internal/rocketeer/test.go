@@ -1,0 +1,146 @@
+// Package rocketeer reimplements Voyager, the batch-mode parallel
+// visualization tool of the paper's Rocketeer suite, in the three builds the
+// evaluation compares (§4.2): the original implementation with coupled
+// reading and processing (O), Voyager on the single-thread GODIVA library
+// (G), and Voyager on the multi-thread GODIVA library with background
+// prefetching (TG). All three run the paper's three visualization tests —
+// "simple", "medium" and "complex" — over a series of GENx snapshots,
+// render one image per visualization pass per snapshot, and report the
+// paper's metrics: total execution time, visible I/O time and computation
+// time on a simulated platform.
+package rocketeer
+
+import (
+	"godiva/internal/mesh"
+	"godiva/internal/vis"
+)
+
+// OpKind is one visualization feature of a test.
+type OpKind int
+
+// The features Rocketeer offers that the tests combine: colored external
+// surfaces, isosurfaces, slices and cutting planes.
+const (
+	OpSurface OpKind = iota + 1
+	OpIso
+	OpSlice
+	OpCut
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpSurface:
+		return "surface"
+	case OpIso:
+		return "isosurface"
+	case OpSlice:
+		return "slice"
+	case OpCut:
+		return "cutplane"
+	default:
+		return "op?"
+	}
+}
+
+// Op is one visualization pass: a feature applied to one variable, producing
+// one image per snapshot. In the original Voyager every pass re-reads the
+// mesh coordinates, because reading and processing are closely coupled.
+type Op struct {
+	Kind OpKind
+	// Var is the variable visualized: a node vector (reduced to magnitude)
+	// or an element scalar (converted to node data for contouring).
+	Var string
+	// IsoFrac positions an isosurface at lo + IsoFrac*(hi-lo) of the
+	// variable's range in the current snapshot.
+	IsoFrac float64
+	// PlaneFrac positions a slice/cut plane along the grain axis as a
+	// fraction of the z extent.
+	PlaneFrac float64
+	// PlaneNormal orients the slice/cut plane; zero means +z.
+	PlaneNormal mesh.Vec3
+}
+
+func (o Op) plane(lo, hi mesh.Vec3) vis.Plane {
+	n := o.PlaneNormal
+	if n == (mesh.Vec3{}) {
+		n = mesh.Vec3{Z: 1}
+	}
+	origin := mesh.Vec3{
+		X: lo.X + (hi.X-lo.X)*0.5,
+		Y: lo.Y + (hi.Y-lo.Y)*0.5,
+		Z: lo.Z + (hi.Z-lo.Z)*o.PlaneFrac,
+	}
+	return vis.Plane{Origin: origin, Normal: n}
+}
+
+// VisTest is one of the paper's three visualization tests, defined by the
+// variables it reads and the passes it runs. The paper distinguishes them by
+// their computation-to-I/O ratio: "simple" has the smallest, "complex" the
+// largest, and "medium" reads the most data and record fields.
+type VisTest struct {
+	Name string
+	// Vars are the variables read per block in addition to the mesh.
+	Vars []string
+	Ops  []Op
+}
+
+// Tests returns the paper's three visualization tests.
+//
+//   - simple: two colored-surface passes (velocity magnitude, average
+//     stress) — lowest compute:I/O ratio.
+//   - medium: seven colored-surface passes over the most variables
+//     (displacement, velocity, acceleration, average stress and two
+//     stress tensor components) — the largest input volume and the most
+//     record fields.
+//   - complex: isosurfaces, slices and a cutting plane on two variables —
+//     the highest compute:I/O ratio.
+func Tests() []VisTest {
+	return []VisTest{
+		{
+			Name: "simple",
+			Vars: []string{"velocity", "stress_avg"},
+			Ops: []Op{
+				{Kind: OpSurface, Var: "velocity"},
+				{Kind: OpSurface, Var: "stress_avg"},
+			},
+		},
+		{
+			Name: "medium",
+			Vars: []string{
+				"displacement", "velocity", "acceleration",
+				"stress_avg", "s11", "s22",
+			},
+			Ops: []Op{
+				{Kind: OpSurface, Var: "displacement"},
+				{Kind: OpSurface, Var: "velocity"},
+				{Kind: OpSurface, Var: "acceleration"},
+				{Kind: OpSurface, Var: "stress_avg"},
+				{Kind: OpSurface, Var: "s11"},
+				{Kind: OpSurface, Var: "s22"},
+			},
+		},
+		{
+			Name: "complex",
+			Vars: []string{"stress_avg", "temperature"},
+			Ops: []Op{
+				{Kind: OpSurface, Var: "temperature"},
+				{Kind: OpIso, Var: "stress_avg", IsoFrac: 0.45},
+				{Kind: OpIso, Var: "stress_avg", IsoFrac: 0.7},
+				{Kind: OpSlice, Var: "temperature", PlaneFrac: 0.35},
+				{Kind: OpSlice, Var: "temperature", PlaneFrac: 0.65},
+				{Kind: OpCut, Var: "stress_avg", PlaneFrac: 0.5},
+			},
+		},
+	}
+}
+
+// TestByName returns the named test.
+func TestByName(name string) (VisTest, bool) {
+	for _, t := range Tests() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return VisTest{}, false
+}

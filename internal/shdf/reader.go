@@ -1,0 +1,411 @@
+package shdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// File is an opened SHDF file: its directory is in memory, object payloads
+// are read on demand.
+type File struct {
+	r       io.ReaderAt
+	f       *os.File // non-nil when opened by path
+	size    int64
+	entries []dirEntry
+	byRef   map[Ref]int
+}
+
+// Open opens the named SHDF file.
+func Open(path string) (*File, error) {
+	osf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := osf.Stat()
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	f, err := NewFile(osf, st.Size())
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	f.f = osf
+	return f, nil
+}
+
+// NewFile opens an SHDF image held by an io.ReaderAt of the given size.
+func NewFile(r io.ReaderAt, size int64) (*File, error) {
+	f := &File{r: r, size: size, byRef: make(map[Ref]int)}
+	if err := f.readHeader(); err != nil {
+		return nil, err
+	}
+	if err := f.readDirectory(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Close closes the underlying file if the File owns it.
+func (f *File) Close() error {
+	if f.f != nil {
+		return f.f.Close()
+	}
+	return nil
+}
+
+func (f *File) readHeader() error {
+	hdr := make([]byte, len(magic)+4)
+	if _, err := f.r.ReadAt(hdr, 0); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotSHDF, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrNotSHDF)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[len(magic):]); v != version {
+		return fmt.Errorf("%w: unsupported version %d", ErrNotSHDF, v)
+	}
+	return nil
+}
+
+func (f *File) readDirectory() error {
+	const footerLen = 8 + 4 + 4
+	if f.size < int64(len(magic)+4+footerLen) {
+		return fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	ftr := make([]byte, footerLen)
+	if _, err := f.r.ReadAt(ftr, f.size-footerLen); err != nil {
+		return fmt.Errorf("%w: footer: %v", ErrCorrupt, err)
+	}
+	if string(ftr[12:]) != footerMagic {
+		return fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	dirOffset := binary.LittleEndian.Uint64(ftr[0:8])
+	count := binary.LittleEndian.Uint32(ftr[8:12])
+	if dirOffset > uint64(f.size-footerLen) {
+		return fmt.Errorf("%w: directory offset out of range", ErrCorrupt)
+	}
+	dirBytes := make([]byte, f.size-footerLen-int64(dirOffset))
+	if _, err := f.r.ReadAt(dirBytes, int64(dirOffset)); err != nil {
+		return fmt.Errorf("%w: directory: %v", ErrCorrupt, err)
+	}
+	d := decoder{buf: dirBytes}
+	for i := uint32(0); i < count; i++ {
+		var e dirEntry
+		e.tag = Tag(d.u16())
+		e.ref = Ref(d.u32())
+		e.offset = d.u64()
+		e.length = d.u64()
+		e.crc = d.u32()
+		e.name = string(d.bytes(int(d.u16())))
+		if d.err != nil {
+			return fmt.Errorf("%w: directory entry %d", ErrCorrupt, i)
+		}
+		if e.offset+e.length > dirOffset {
+			return fmt.Errorf("%w: object %q extends past directory", ErrCorrupt, e.name)
+		}
+		f.byRef[e.ref] = len(f.entries)
+		f.entries = append(f.entries, e)
+	}
+	return nil
+}
+
+// decoder walks a byte slice, remembering the first error.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.need(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.need(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if n < 0 {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	return d.need(n)
+}
+
+// ObjectInfo describes one object without reading its payload.
+type ObjectInfo struct {
+	Tag     Tag
+	Ref     Ref
+	Name    string
+	Offset  int64 // payload position in the file
+	ByteLen int64 // payload length on disk
+}
+
+func (e *dirEntry) info() ObjectInfo {
+	return ObjectInfo{Tag: e.tag, Ref: e.ref, Name: e.name,
+		Offset: int64(e.offset), ByteLen: int64(e.length)}
+}
+
+// Objects lists every object in directory order.
+func (f *File) Objects() []ObjectInfo {
+	out := make([]ObjectInfo, len(f.entries))
+	for i := range f.entries {
+		out[i] = f.entries[i].info()
+	}
+	return out
+}
+
+// Datasets lists the SDS objects in directory order.
+func (f *File) Datasets() []ObjectInfo {
+	var out []ObjectInfo
+	for i := range f.entries {
+		if f.entries[i].tag == TagSDS {
+			out = append(out, f.entries[i].info())
+		}
+	}
+	return out
+}
+
+// Info returns the directory entry for a ref.
+func (f *File) Info(ref Ref) (ObjectInfo, error) {
+	i, ok := f.byRef[ref]
+	if !ok {
+		return ObjectInfo{}, fmt.Errorf("%w: ref %d", ErrNoObject, ref)
+	}
+	return f.entries[i].info(), nil
+}
+
+// FindByName returns the first object with the given tag and name.
+func (f *File) FindByName(tag Tag, name string) (ObjectInfo, error) {
+	for i := range f.entries {
+		if f.entries[i].tag == tag && f.entries[i].name == name {
+			return f.entries[i].info(), nil
+		}
+	}
+	return ObjectInfo{}, fmt.Errorf("%w: %v %q", ErrNoObject, tag, name)
+}
+
+func (f *File) payloadFor(ref Ref) ([]byte, *dirEntry, error) {
+	i, ok := f.byRef[ref]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: ref %d", ErrNoObject, ref)
+	}
+	e := &f.entries[i]
+	buf := make([]byte, e.length)
+	if _, err := f.r.ReadAt(buf, int64(e.offset)); err != nil {
+		return nil, nil, fmt.Errorf("%w: object %q: %v", ErrCorrupt, e.name, err)
+	}
+	if crc32.ChecksumIEEE(buf) != e.crc {
+		return nil, nil, fmt.Errorf("%w: object %q", ErrChecksum, e.name)
+	}
+	return buf, e, nil
+}
+
+// Dataset is a decoded SDS: element type, dimensions, and the data in its
+// natural Go slice type.
+type Dataset struct {
+	Name string
+	Type NumType
+	Dims []int
+
+	Uint8s   []uint8
+	Int32s   []int32
+	Int64s   []int64
+	Float32s []float32
+	Float64s []float64
+}
+
+// Len returns the number of elements.
+func (ds *Dataset) Len() int {
+	n := 1
+	for _, d := range ds.Dims {
+		n *= d
+	}
+	return n
+}
+
+// ReadSDS reads and decodes the scientific dataset with the given ref.
+func (f *File) ReadSDS(ref Ref) (*Dataset, error) {
+	buf, e, err := f.payloadFor(ref)
+	if err != nil {
+		return nil, err
+	}
+	if e.tag != TagSDS {
+		return nil, fmt.Errorf("%w: ref %d is a %v, not an SDS", ErrNoObject, ref, e.tag)
+	}
+	d := decoder{buf: buf}
+	nt := NumType(d.u16())
+	rank := int(d.u16())
+	if rank < 0 || rank > 16 {
+		return nil, fmt.Errorf("%w: SDS %q rank %d", ErrCorrupt, e.name, rank)
+	}
+	dims := make([]int, rank)
+	n := 1
+	for i := range dims {
+		dims[i] = int(d.u64())
+		n *= dims[i]
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: SDS %q header", ErrCorrupt, e.name)
+	}
+	es := nt.Size()
+	if es == 0 {
+		return nil, fmt.Errorf("%w: SDS %q type %v", ErrBadType, e.name, nt)
+	}
+	raw := d.bytes(n * es)
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: SDS %q data", ErrCorrupt, e.name)
+	}
+	ds := &Dataset{Name: e.name, Type: nt, Dims: dims}
+	switch nt {
+	case TypeUint8:
+		ds.Uint8s = append([]uint8(nil), raw...)
+	case TypeInt32:
+		ds.Int32s = make([]int32, n)
+		for i := range ds.Int32s {
+			ds.Int32s[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+	case TypeInt64:
+		ds.Int64s = make([]int64, n)
+		for i := range ds.Int64s {
+			ds.Int64s[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	case TypeFloat32:
+		ds.Float32s = make([]float32, n)
+		for i := range ds.Float32s {
+			ds.Float32s[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+	case TypeFloat64:
+		ds.Float64s = make([]float64, n)
+		for i := range ds.Float64s {
+			ds.Float64s[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	return ds, nil
+}
+
+// Attr is a decoded attribute.
+type Attr struct {
+	Name  string
+	Str   string
+	Int   int64
+	Float float64
+	IsStr bool
+	IsInt bool
+	IsFlt bool
+}
+
+// ReadAttr reads and decodes the attribute with the given ref.
+func (f *File) ReadAttr(ref Ref) (*Attr, error) {
+	buf, e, err := f.payloadFor(ref)
+	if err != nil {
+		return nil, err
+	}
+	if e.tag != TagAttr {
+		return nil, fmt.Errorf("%w: ref %d is a %v, not an attribute", ErrNoObject, ref, e.tag)
+	}
+	d := decoder{buf: buf}
+	nt := NumType(d.u16())
+	count := int(d.u64())
+	a := &Attr{Name: e.name}
+	switch nt {
+	case TypeUint8:
+		a.Str = string(d.bytes(count))
+		a.IsStr = true
+	case TypeInt64:
+		a.Int = int64(d.u64())
+		a.IsInt = true
+	case TypeFloat64:
+		a.Float = math.Float64frombits(d.u64())
+		a.IsFlt = true
+	default:
+		return nil, fmt.Errorf("%w: attribute %q type %v", ErrBadType, e.name, nt)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: attribute %q", ErrCorrupt, e.name)
+	}
+	return a, nil
+}
+
+// VGroup is a decoded vgroup.
+type VGroup struct {
+	Name    string
+	Members []Ref
+}
+
+// ReadVGroup reads and decodes the vgroup with the given ref.
+func (f *File) ReadVGroup(ref Ref) (*VGroup, error) {
+	buf, e, err := f.payloadFor(ref)
+	if err != nil {
+		return nil, err
+	}
+	if e.tag != TagVGroup {
+		return nil, fmt.Errorf("%w: ref %d is a %v, not a vgroup", ErrNoObject, ref, e.tag)
+	}
+	d := decoder{buf: buf}
+	count := int(d.u32())
+	if count < 0 || count > 1<<24 {
+		return nil, fmt.Errorf("%w: vgroup %q count", ErrCorrupt, e.name)
+	}
+	g := &VGroup{Name: e.name, Members: make([]Ref, count)}
+	for i := range g.Members {
+		g.Members[i] = Ref(d.u32())
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: vgroup %q", ErrCorrupt, e.name)
+	}
+	return g, nil
+}
+
+// VGroups lists all vgroups, sorted by name, with their members decoded.
+func (f *File) VGroups() ([]*VGroup, error) {
+	var out []*VGroup
+	for _, e := range f.entries {
+		if e.tag != TagVGroup {
+			continue
+		}
+		g, err := f.ReadVGroup(e.ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,445 @@
+package shdf
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// writeSample writes a file with one of each object kind and returns the
+// refs.
+func writeSample(t *testing.T, path string) (sds, attr, grp Ref) {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sds, err = w.WriteSDS("pressure", []int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr, err = w.WriteAttr("units", "pascal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err = w.WriteVGroup("block_0001", []Ref{sds, attr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sds, attr, grp
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.shdf")
+	sdsRef, attrRef, grpRef := writeSample(t, path)
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if got := len(f.Objects()); got != 3 {
+		t.Fatalf("Objects() has %d entries, want 3", got)
+	}
+	ds, err := f.ReadSDS(sdsRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "pressure" || ds.Type != TypeFloat64 {
+		t.Fatalf("dataset = %q %v", ds.Name, ds.Type)
+	}
+	if len(ds.Dims) != 2 || ds.Dims[0] != 2 || ds.Dims[1] != 3 {
+		t.Fatalf("dims = %v", ds.Dims)
+	}
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i, v := range want {
+		if ds.Float64s[i] != v {
+			t.Fatalf("data[%d] = %v, want %v", i, ds.Float64s[i], v)
+		}
+	}
+	a, err := f.ReadAttr(attrRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsStr || a.Str != "pascal" {
+		t.Fatalf("attr = %+v", a)
+	}
+	g, err := f.ReadVGroup(grpRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "block_0001" || len(g.Members) != 2 || g.Members[0] != sdsRef || g.Members[1] != attrRef {
+		t.Fatalf("vgroup = %+v", g)
+	}
+}
+
+func TestAllNumTypes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "types.shdf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string]Ref{}
+	add := func(name string, dims []int, data any) {
+		t.Helper()
+		r, err := w.WriteSDS(name, dims, data)
+		if err != nil {
+			t.Fatalf("WriteSDS(%s): %v", name, err)
+		}
+		refs[name] = r
+	}
+	add("u8", []int{4}, []uint8{1, 2, 3, 255})
+	add("i32", []int{2}, []int32{-5, 1 << 30})
+	add("i64", []int{2}, []int64{-1, math.MaxInt64})
+	add("f32", []int{3}, []float32{1.5, -2.5, float32(math.Inf(1))})
+	add("f64", []int{1}, []float64{math.Pi})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if ds, _ := f.ReadSDS(refs["u8"]); ds.Uint8s[3] != 255 {
+		t.Fatalf("u8 = %v", ds.Uint8s)
+	}
+	if ds, _ := f.ReadSDS(refs["i32"]); ds.Int32s[0] != -5 || ds.Int32s[1] != 1<<30 {
+		t.Fatalf("i32 = %v", ds.Int32s)
+	}
+	if ds, _ := f.ReadSDS(refs["i64"]); ds.Int64s[1] != math.MaxInt64 {
+		t.Fatalf("i64 = %v", ds.Int64s)
+	}
+	if ds, _ := f.ReadSDS(refs["f32"]); !math.IsInf(float64(ds.Float32s[2]), 1) {
+		t.Fatalf("f32 = %v", ds.Float32s)
+	}
+	if ds, _ := f.ReadSDS(refs["f64"]); ds.Float64s[0] != math.Pi {
+		t.Fatalf("f64 = %v", ds.Float64s)
+	}
+}
+
+func TestAttrKinds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "attrs.shdf")
+	w, _ := Create(path)
+	rs, _ := w.WriteAttr("s", "text")
+	ri, _ := w.WriteAttr("i", int64(42))
+	rn, _ := w.WriteAttr("n", 7) // plain int
+	rf, _ := w.WriteAttr("f", 2.5)
+	if _, err := w.WriteAttr("bad", struct{}{}); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad attr type: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if a, _ := f.ReadAttr(rs); a.Str != "text" {
+		t.Fatalf("s = %+v", a)
+	}
+	if a, _ := f.ReadAttr(ri); a.Int != 42 {
+		t.Fatalf("i = %+v", a)
+	}
+	if a, _ := f.ReadAttr(rn); a.Int != 7 {
+		t.Fatalf("n = %+v", a)
+	}
+	if a, _ := f.ReadAttr(rf); a.Float != 2.5 {
+		t.Fatalf("f = %+v", a)
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	var sink bytes.Buffer
+	w, err := NewWriter(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteSDS("bad", []int{2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("shape mismatch: %v", err)
+	}
+	if _, err := w.WriteSDS("bad", []int{0}, []float64{}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("zero dim: %v", err)
+	}
+	if _, err := w.WriteSDS("bad", []int{1}, []string{"x"}); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: %v", err)
+	}
+}
+
+func TestWriterAfterClose(t *testing.T) {
+	var sink bytes.Buffer
+	w, _ := NewWriter(&sink)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAttr("late", "x"); !errors.Is(err, ErrWriterDone) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrWriterDone) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestFindByName(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.shdf")
+	writeSample(t, path)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	info, err := f.FindByName(TagSDS, "pressure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "pressure" || info.Tag != TagSDS {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := f.FindByName(TagSDS, "missing"); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("missing object: %v", err)
+	}
+}
+
+func TestNotSHDF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("this is not an SHDF file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrNotSHDF) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open(junk) = %v", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "whole.shdf")
+	writeSample(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(data) / 2, len(data) - 1} {
+		_, err := NewFile(bytes.NewReader(data[:cut]), int64(cut))
+		if err == nil {
+			t.Fatalf("NewFile on %d/%d bytes succeeded", cut, len(data))
+		}
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.shdf")
+	sdsRef, _, _ := writeSample(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the SDS payload (just past the header).
+	data[16] ^= 0xFF
+	f, err := NewFile(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadSDS(sdsRef); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt payload: %v, want ErrChecksum", err)
+	}
+}
+
+func TestDatasetsListsOnlySDS(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.shdf")
+	writeSample(t, path)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds := f.Datasets()
+	if len(ds) != 1 || ds[0].Name != "pressure" {
+		t.Fatalf("Datasets() = %+v", ds)
+	}
+	gs, err := f.VGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || gs[0].Name != "block_0001" {
+		t.Fatalf("VGroups() = %+v", gs)
+	}
+}
+
+func TestWrongTagAccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.shdf")
+	sdsRef, attrRef, grpRef := writeSample(t, path)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ReadSDS(attrRef); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("ReadSDS(attr) = %v", err)
+	}
+	if _, err := f.ReadAttr(grpRef); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("ReadAttr(group) = %v", err)
+	}
+	if _, err := f.ReadVGroup(sdsRef); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("ReadVGroup(sds) = %v", err)
+	}
+	if _, err := f.ReadSDS(Ref(9999)); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("ReadSDS(unknown ref) = %v", err)
+	}
+}
+
+// Property: float64 datasets of any content and length survive a
+// write/read round trip bit-exactly (NaNs compared by bit pattern).
+func TestQuickFloat64RoundTrip(t *testing.T) {
+	f := func(data []float64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		ref, err := w.WriteSDS("x", []int{len(data)}, data)
+		if err != nil || w.Close() != nil {
+			return false
+		}
+		file, err := NewFile(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			return false
+		}
+		ds, err := file.ReadSDS(ref)
+		if err != nil || len(ds.Float64s) != len(data) {
+			return false
+		}
+		for i := range data {
+			if math.Float64bits(ds.Float64s[i]) != math.Float64bits(data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multiple objects with random names keep directory integrity:
+// every written ref resolves to its own name and length.
+func TestQuickDirectoryIntegrity(t *testing.T) {
+	f := func(names []string, sizes []uint8) bool {
+		n := len(names)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if n == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		type written struct {
+			ref  Ref
+			name string
+			n    int
+		}
+		var ws []written
+		for i := 0; i < n; i++ {
+			elems := int(sizes[i])%31 + 1
+			data := make([]float32, elems)
+			ref, err := w.WriteSDS(names[i], []int{elems}, data)
+			if err != nil {
+				return false
+			}
+			ws = append(ws, written{ref, names[i], elems})
+		}
+		if w.Close() != nil {
+			return false
+		}
+		file, err := NewFile(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			return false
+		}
+		for _, wr := range ws {
+			ds, err := file.ReadSDS(wr.ref)
+			if err != nil || ds.Name != wr.name || len(ds.Float32s) != wr.n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random single-byte corruptions anywhere in a valid file never
+// panic the reader — every outcome is an error or a checksum rejection.
+func TestQuickCorruptionNeverPanics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seed.shdf")
+	sdsRef, attrRef, grpRef := writeSample(t, path)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos uint16, val byte) bool {
+		data := append([]byte(nil), orig...)
+		data[int(pos)%len(data)] ^= val | 1 // guarantee a change
+		file, err := NewFile(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return true // rejected at open: fine
+		}
+		// Reads may fail but must not panic or return torn successes that
+		// violate basic shape invariants.
+		if ds, err := file.ReadSDS(sdsRef); err == nil {
+			if ds.Len() < 0 {
+				return false
+			}
+		}
+		file.ReadAttr(attrRef)
+		file.ReadVGroup(grpRef)
+		file.VGroups()
+		file.Objects()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random truncations never panic the reader.
+func TestQuickTruncationNeverPanics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seed.shdf")
+	sdsRef, _, _ := writeSample(t, path)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cut uint16) bool {
+		n := int(cut) % len(orig)
+		file, err := NewFile(bytes.NewReader(orig[:n]), int64(n))
+		if err != nil {
+			return true
+		}
+		file.ReadSDS(sdsRef)
+		file.VGroups()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

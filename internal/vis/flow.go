@@ -1,0 +1,240 @@
+package vis
+
+import (
+	"math"
+
+	"godiva/internal/mesh"
+)
+
+// LineSet is a collection of polylines with a scalar per point, the
+// geometry streamlines and vector glyphs produce and the renderer's line
+// rasterizer consumes.
+type LineSet struct {
+	// Points holds x,y,z per point; Scalars one value per point.
+	Points  []float64
+	Scalars []float64
+	// Lines holds point-index ranges: line i spans point indices
+	// Offsets[i] to Offsets[i+1] (exclusive). len(Offsets) = lines + 1.
+	Offsets []int32
+}
+
+// NumLines returns the polyline count.
+func (ls *LineSet) NumLines() int {
+	if len(ls.Offsets) == 0 {
+		return 0
+	}
+	return len(ls.Offsets) - 1
+}
+
+// NumPoints returns the point count.
+func (ls *LineSet) NumPoints() int { return len(ls.Points) / 3 }
+
+// Line returns the half-open point-index range of line i.
+func (ls *LineSet) Line(i int) (from, to int32) { return ls.Offsets[i], ls.Offsets[i+1] }
+
+// begin starts a new polyline.
+func (ls *LineSet) begin() {
+	if len(ls.Offsets) == 0 {
+		ls.Offsets = append(ls.Offsets, 0)
+	}
+}
+
+// point appends a point with its scalar to the current polyline.
+func (ls *LineSet) point(p mesh.Vec3, s float64) {
+	ls.Points = append(ls.Points, p.X, p.Y, p.Z)
+	ls.Scalars = append(ls.Scalars, s)
+}
+
+// end closes the current polyline; empty or single-point lines are dropped.
+func (ls *LineSet) end() {
+	last := ls.Offsets[len(ls.Offsets)-1]
+	n := int32(ls.NumPoints())
+	if n-last < 2 {
+		// Discard degenerate line.
+		ls.Points = ls.Points[:3*last]
+		ls.Scalars = ls.Scalars[:last]
+		return
+	}
+	ls.Offsets = append(ls.Offsets, n)
+}
+
+// Append merges other into ls.
+func (ls *LineSet) Append(other *LineSet) {
+	if other.NumLines() == 0 {
+		return
+	}
+	off := int32(ls.NumPoints())
+	ls.Points = append(ls.Points, other.Points...)
+	ls.Scalars = append(ls.Scalars, other.Scalars...)
+	if len(ls.Offsets) == 0 {
+		ls.Offsets = append(ls.Offsets, 0)
+	}
+	for _, o := range other.Offsets[1:] {
+		ls.Offsets = append(ls.Offsets, o+off)
+	}
+}
+
+// StreamlineOptions controls integration.
+type StreamlineOptions struct {
+	// StepSize is the integration step; zero picks 1/4 of the mean element
+	// edge length.
+	StepSize float64
+	// MaxSteps bounds each trace (default 500).
+	MaxSteps int
+	// Both traces backward as well as forward from each seed.
+	Both bool
+}
+
+// Streamlines integrates the node-based vector field vel (flattened) from
+// the seed points with fourth-order Runge-Kutta, producing one polyline per
+// trace colored by the local speed. Traces stop on mesh exit, step budget,
+// or stagnation.
+func Streamlines(m *mesh.TetMesh, vel []float64, seeds []mesh.Vec3, opts StreamlineOptions) (*LineSet, error) {
+	if len(vel) != 3*m.NumNodes() {
+		return nil, ErrBadInput
+	}
+	loc := NewTetLocator(m)
+	h := opts.StepSize
+	if h <= 0 {
+		lo, hi := m.Bounds()
+		h = hi.Sub(lo).Norm() / math.Cbrt(float64(m.NumCells())) / 4
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 500
+	}
+	ls := &LineSet{}
+	for _, seed := range seeds {
+		trace(ls, loc, vel, seed, h, maxSteps)
+		if opts.Both {
+			trace(ls, loc, vel, seed, -h, maxSteps)
+		}
+	}
+	return ls, nil
+}
+
+// trace integrates one streamline from seed with step h (negative h traces
+// upstream).
+func trace(ls *LineSet, loc *TetLocator, vel []float64, seed mesh.Vec3, h float64, maxSteps int) {
+	p := seed
+	v, ok := loc.InterpolateVector(vel, p)
+	if !ok {
+		return
+	}
+	ls.begin()
+	ls.point(p, v.Norm())
+	for step := 0; step < maxSteps; step++ {
+		next, ok := rk4(loc, vel, p, h)
+		if !ok {
+			break
+		}
+		v, ok = loc.InterpolateVector(vel, next)
+		if !ok {
+			break
+		}
+		if next.Sub(p).Norm() < math.Abs(h)*1e-6 {
+			break // stagnation point
+		}
+		p = next
+		ls.point(p, v.Norm())
+	}
+	ls.end()
+}
+
+// rk4 performs one normalized-velocity Runge-Kutta step (so the step length
+// is uniform regardless of speed); ok is false when an evaluation leaves
+// the mesh.
+func rk4(loc *TetLocator, vel []float64, p mesh.Vec3, h float64) (mesh.Vec3, bool) {
+	dir := func(q mesh.Vec3) (mesh.Vec3, bool) {
+		v, ok := loc.InterpolateVector(vel, q)
+		if !ok {
+			return mesh.Vec3{}, false
+		}
+		n := v.Norm()
+		if n == 0 {
+			return mesh.Vec3{}, false
+		}
+		return v.Scale(1 / n), true
+	}
+	k1, ok := dir(p)
+	if !ok {
+		return p, false
+	}
+	k2, ok := dir(p.Add(k1.Scale(h / 2)))
+	if !ok {
+		return p, false
+	}
+	k3, ok := dir(p.Add(k2.Scale(h / 2)))
+	if !ok {
+		return p, false
+	}
+	k4, ok := dir(p.Add(k3.Scale(h)))
+	if !ok {
+		return p, false
+	}
+	d := k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4).Scale(h / 6)
+	return p.Add(d), true
+}
+
+// SeedLine places n seeds evenly between a and b.
+func SeedLine(a, b mesh.Vec3, n int) []mesh.Vec3 {
+	if n < 1 {
+		return nil
+	}
+	seeds := make([]mesh.Vec3, n)
+	for i := range seeds {
+		t := 0.5
+		if n > 1 {
+			t = float64(i) / float64(n-1)
+		}
+		seeds[i] = a.Add(b.Sub(a).Scale(t))
+	}
+	return seeds
+}
+
+// VectorGlyphs builds one line segment per stride-th element: an arrow from
+// the element centroid along the cell-averaged vector, scaled so the
+// longest glyph has the given length, colored by magnitude.
+func VectorGlyphs(m *mesh.TetMesh, vel []float64, stride int, length float64) (*LineSet, error) {
+	if len(vel) != 3*m.NumNodes() {
+		return nil, ErrBadInput
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	type glyph struct {
+		at  mesh.Vec3
+		v   mesh.Vec3
+		mag float64
+	}
+	var glyphs []glyph
+	maxMag := 0.0
+	for e := 0; e < m.NumCells(); e += stride {
+		c := m.Cell(e)
+		var v mesh.Vec3
+		for _, n := range c {
+			v.X += vel[3*n]
+			v.Y += vel[3*n+1]
+			v.Z += vel[3*n+2]
+		}
+		v = v.Scale(0.25)
+		mag := v.Norm()
+		maxMag = math.Max(maxMag, mag)
+		glyphs = append(glyphs, glyph{at: m.CellCentroid(e), v: v, mag: mag})
+	}
+	ls := &LineSet{}
+	if maxMag == 0 {
+		return ls, nil
+	}
+	for _, g := range glyphs {
+		if g.mag == 0 {
+			continue
+		}
+		tip := g.at.Add(g.v.Scale(length / maxMag))
+		ls.begin()
+		ls.point(g.at, g.mag)
+		ls.point(tip, g.mag)
+		ls.end()
+	}
+	return ls, nil
+}

@@ -1,0 +1,156 @@
+package vis
+
+import (
+	"math"
+
+	"godiva/internal/mesh"
+)
+
+// TetLocator answers point-location queries on a tetrahedral mesh — which
+// element contains a point, and the barycentric interpolation weights — via
+// a uniform grid over element bounding boxes. It enables streamline
+// integration and probing on unstructured data.
+type TetLocator struct {
+	m        *mesh.TetMesh
+	lo, hi   mesh.Vec3
+	nx, ny   int
+	nz       int
+	cellSize mesh.Vec3
+	buckets  [][]int32 // element indices per grid cell
+}
+
+// NewTetLocator builds a locator. The grid resolution targets a few
+// elements per bucket.
+func NewTetLocator(m *mesh.TetMesh) *TetLocator {
+	lo, hi := m.Bounds()
+	// Expand slightly so boundary points land inside the grid.
+	span := hi.Sub(lo)
+	eps := 1e-9 + 1e-6*span.Norm()
+	lo = lo.Sub(mesh.Vec3{X: eps, Y: eps, Z: eps})
+	hi = hi.Add(mesh.Vec3{X: eps, Y: eps, Z: eps})
+	span = hi.Sub(lo)
+
+	n := m.NumCells()
+	target := int(math.Cbrt(float64(n)/2)) + 1
+	l := &TetLocator{
+		m: m, lo: lo, hi: hi,
+		nx: target, ny: target, nz: target,
+	}
+	l.cellSize = mesh.Vec3{
+		X: span.X / float64(l.nx),
+		Y: span.Y / float64(l.ny),
+		Z: span.Z / float64(l.nz),
+	}
+	l.buckets = make([][]int32, l.nx*l.ny*l.nz)
+	for e := 0; e < n; e++ {
+		c := m.Cell(e)
+		elo := m.Node(c[0])
+		ehi := elo
+		for _, v := range c[1:] {
+			p := m.Node(v)
+			elo.X, elo.Y, elo.Z = math.Min(elo.X, p.X), math.Min(elo.Y, p.Y), math.Min(elo.Z, p.Z)
+			ehi.X, ehi.Y, ehi.Z = math.Max(ehi.X, p.X), math.Max(ehi.Y, p.Y), math.Max(ehi.Z, p.Z)
+		}
+		i0, j0, k0 := l.cellOf(elo)
+		i1, j1, k1 := l.cellOf(ehi)
+		for k := k0; k <= k1; k++ {
+			for j := j0; j <= j1; j++ {
+				for i := i0; i <= i1; i++ {
+					b := l.bucket(i, j, k)
+					l.buckets[b] = append(l.buckets[b], int32(e))
+				}
+			}
+		}
+	}
+	return l
+}
+
+func (l *TetLocator) cellOf(p mesh.Vec3) (i, j, k int) {
+	i = clampInt(int((p.X-l.lo.X)/l.cellSize.X), 0, l.nx-1)
+	j = clampInt(int((p.Y-l.lo.Y)/l.cellSize.Y), 0, l.ny-1)
+	k = clampInt(int((p.Z-l.lo.Z)/l.cellSize.Z), 0, l.nz-1)
+	return
+}
+
+func (l *TetLocator) bucket(i, j, k int) int { return (k*l.ny+j)*l.nx + i }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Locate returns the element containing p and its barycentric weights
+// (w[0..3] for the element's four nodes). found is false when p lies
+// outside the mesh.
+func (l *TetLocator) Locate(p mesh.Vec3) (elem int, w [4]float64, found bool) {
+	if p.X < l.lo.X || p.Y < l.lo.Y || p.Z < l.lo.Z ||
+		p.X > l.hi.X || p.Y > l.hi.Y || p.Z > l.hi.Z {
+		return 0, w, false
+	}
+	i, j, k := l.cellOf(p)
+	for _, e := range l.buckets[l.bucket(i, j, k)] {
+		if bw, ok := l.baryWeights(int(e), p); ok {
+			return int(e), bw, true
+		}
+	}
+	return 0, w, false
+}
+
+// baryWeights computes p's barycentric coordinates in element e and reports
+// whether they are all non-negative (p inside, up to a small tolerance).
+func (l *TetLocator) baryWeights(e int, p mesh.Vec3) ([4]float64, bool) {
+	c := l.m.Cell(e)
+	a := l.m.Node(c[0])
+	ab := l.m.Node(c[1]).Sub(a)
+	ac := l.m.Node(c[2]).Sub(a)
+	ad := l.m.Node(c[3]).Sub(a)
+	ap := p.Sub(a)
+	vol := ab.Cross(ac).Dot(ad)
+	if vol == 0 {
+		return [4]float64{}, false
+	}
+	inv := 1 / vol
+	w1 := ap.Cross(ac).Dot(ad) * inv
+	w2 := ab.Cross(ap).Dot(ad) * inv
+	w3 := ab.Cross(ac).Dot(ap) * inv
+	w0 := 1 - w1 - w2 - w3
+	const tol = -1e-9
+	if w0 < tol || w1 < tol || w2 < tol || w3 < tol {
+		return [4]float64{}, false
+	}
+	return [4]float64{w0, w1, w2, w3}, true
+}
+
+// InterpolateVector evaluates a node-based vector field (flattened x,y,z
+// per node) at p. ok is false outside the mesh.
+func (l *TetLocator) InterpolateVector(field []float64, p mesh.Vec3) (v mesh.Vec3, ok bool) {
+	e, w, found := l.Locate(p)
+	if !found {
+		return mesh.Vec3{}, false
+	}
+	c := l.m.Cell(e)
+	for i, n := range c {
+		v.X += w[i] * field[3*n]
+		v.Y += w[i] * field[3*n+1]
+		v.Z += w[i] * field[3*n+2]
+	}
+	return v, true
+}
+
+// InterpolateScalar evaluates a node-based scalar field at p.
+func (l *TetLocator) InterpolateScalar(field []float64, p mesh.Vec3) (s float64, ok bool) {
+	e, w, found := l.Locate(p)
+	if !found {
+		return 0, false
+	}
+	c := l.m.Cell(e)
+	for i, n := range c {
+		s += w[i] * field[n]
+	}
+	return s, true
+}

@@ -1,0 +1,59 @@
+package vis
+
+import "godiva/internal/mesh"
+
+// Structured2DSurface triangulates a structured 2-D block (the paper's
+// Table 1 fluid data) into a renderable surface in the z=0 plane, carrying
+// an element-based scalar converted to grid-point values by area-weighted
+// averaging. Rocketeer handles structured grids alongside unstructured
+// ones; this is that path.
+func Structured2DSurface(b *mesh.StructuredBlock2D, elemScalar []float64) (*TriSurface, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if len(elemScalar) != b.NumElements() {
+		return nil, ErrBadInput
+	}
+	nx, ny := b.NX, b.NY
+	nvx, nvy := nx+1, ny+1
+	s := &TriSurface{
+		Coords:  make([]float64, 0, 3*nvx*nvy),
+		Scalars: make([]float64, nvx*nvy),
+	}
+	for j := 0; j < nvy; j++ {
+		for i := 0; i < nvx; i++ {
+			s.Coords = append(s.Coords, b.XCoords[i], b.YCoords[j], 0)
+		}
+	}
+	// Element-to-point conversion: average the surrounding elements.
+	counts := make([]int, nvx*nvy)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			v := elemScalar[j*nx+i]
+			for _, p := range [4]int{
+				j*nvx + i, j*nvx + i + 1,
+				(j+1)*nvx + i, (j+1)*nvx + i + 1,
+			} {
+				s.Scalars[p] += v
+				counts[p]++
+			}
+		}
+	}
+	for p := range s.Scalars {
+		if counts[p] > 0 {
+			s.Scalars[p] /= float64(counts[p])
+		}
+	}
+	// Two triangles per quad, consistent orientation (+z normal).
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			p00 := int32(j*nvx + i)
+			p10 := p00 + 1
+			p01 := p00 + int32(nvx)
+			p11 := p01 + 1
+			s.Tris = append(s.Tris, p00, p10, p11)
+			s.Tris = append(s.Tris, p00, p11, p01)
+		}
+	}
+	return s, nil
+}
