@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	godiva-bench [-fig 3a|3b|par|all] [-reps 5] [-snapshots 32]
+//	godiva-bench [-fig 3a|3b|par|ablate|workers|all] [-reps 5] [-snapshots 32]
 //	             [-data DIR] [-timescale 0.05] [-quick]
 //
 // -quick shrinks the run (1 rep, 6 snapshots, faster clock) for a smoke
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "experiment: 3a, 3b, par or all")
+		fig       = flag.String("fig", "all", "experiment: 3a, 3b, par, ablate, workers or all")
 		reps      = flag.Int("reps", 0, "repetitions per configuration (0 = default)")
 		snapshots = flag.Int("snapshots", 0, "snapshots per run (0 = all 32)")
 		data      = flag.String("data", "godiva-bench-data", "dataset directory (generated on demand)")
@@ -53,8 +53,9 @@ func main() {
 	run3b := *fig == "3b" || *fig == "all"
 	runPar := *fig == "par" || *fig == "all"
 	runAbl := *fig == "ablate" || *fig == "all"
-	if !run3a && !run3b && !runPar && !runAbl {
-		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate or all)\n", *fig)
+	runWrk := *fig == "workers" || *fig == "all"
+	if !run3a && !run3b && !runPar && !runAbl && !runWrk {
+		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers or all)\n", *fig)
 		os.Exit(2)
 	}
 
@@ -108,6 +109,15 @@ func main() {
 			fail(err)
 		}
 		experiments.PrintFormatComparison(os.Stdout, formats)
+		fmt.Println()
+	}
+	if runWrk {
+		fmt.Println("== Worker-pool sweep: background I/O scaling beyond the paper's single thread ==")
+		cells, err := experiments.RunWorkerSweep(experiments.WorkerSweepConfig{})
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintWorkerSweep(os.Stdout, cells)
 	}
 }
 

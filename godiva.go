@@ -48,6 +48,9 @@ type (
 	DataType = core.DataType
 	// Stats is a snapshot of database counters.
 	Stats = core.Stats
+	// IOWorkerStats is a snapshot of one background I/O worker's counters
+	// (DB.IOWorkerStats, with Options.IOWorkers).
+	IOWorkerStats = core.IOWorkerStats
 	// UnitInfo describes one processing unit (DB.Units).
 	UnitInfo = core.UnitInfo
 	// UnitEvent is one unit state transition (DB.UnitEvents, with

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"godiva/internal/rbtree"
 )
@@ -19,11 +20,19 @@ type Options struct {
 	TraceUnits bool
 
 	// BackgroundIO selects the multi-thread library of the paper when true:
-	// a single I/O goroutine prefetches added units through their read
+	// a pool of I/O goroutines prefetches added units through their read
 	// functions. When false the library behaves as the paper's single-thread
 	// version: AddUnit only queues, and WaitUnit performs the pending read
 	// inline, making every wait an explicit blocking read.
 	BackgroundIO bool
+
+	// IOWorkers sets the size of the background I/O worker pool used when
+	// BackgroundIO is true. Zero means one worker — the paper's single I/O
+	// thread — which preserves the paper's scheduling exactly. With N > 1
+	// workers up to N unit reads are in flight at once: units are still
+	// dispatched to workers in AddUnit order, but may complete out of
+	// order. IOWorkers has no effect when BackgroundIO is false.
+	IOWorkers int
 }
 
 // DefaultMemoryLimit is used when Options.MemoryLimit is zero.
@@ -47,25 +56,38 @@ type DB struct {
 	queue []*unit // prefetch FIFO (statePending units, in AddUnit order)
 	lru   lruList // finished, unreferenced units, evictable
 
-	mem     int64 // bytes charged
-	limit   int64
-	ioBlock bool // I/O goroutine blocked on memory in reserveLocked
-	closed  bool
-	bgIO    bool
-	ioDone  chan struct{} // closed when the I/O goroutine exits
-	stats   Stats
+	mem    int64 // bytes charged
+	limit  int64
+	closed bool
+
+	ioWorkers     int // background I/O pool size; 0 in single-thread mode
+	ioReading     int // workers currently executing a read
+	ioBlocked     int // workers currently blocked on memory in reserveLocked
+	inlineReading int // application threads currently executing an inline read
+	inlineBlocked int // inline readers currently blocked on memory
+	ioWg          sync.WaitGroup  // joined by Close once every worker exits
+	workerStats   []IOWorkerStats // per-worker counters, indexed by worker id
+
+	stats Stats
 
 	traceEvents bool
 	events      []UnitEvent
 }
 
 // Open creates a GODIVA database and, in background-I/O mode, starts its I/O
-// goroutine. The caller must Close the database to stop the goroutine and
+// worker pool. The caller must Close the database to stop the workers and
 // release all records.
 func Open(opts Options) *DB {
 	limit := opts.MemoryLimit
 	if limit == 0 {
 		limit = DefaultMemoryLimit
+	}
+	workers := 0
+	if opts.BackgroundIO {
+		workers = opts.IOWorkers
+		if workers < 1 {
+			workers = 1
+		}
 	}
 	db := &DB{
 		fieldTypes:  make(map[string]*fieldType),
@@ -74,18 +96,24 @@ func Open(opts Options) *DB {
 		resident:    make(map[*Record]struct{}),
 		units:       make(map[string]*unit),
 		limit:       limit,
-		bgIO:        opts.BackgroundIO,
+		ioWorkers:   workers,
 		traceEvents: opts.TraceUnits,
 	}
 	db.cond = sync.NewCond(&db.mu)
-	if db.bgIO {
-		db.ioDone = make(chan struct{})
-		go db.ioLoop()
+	if workers > 0 {
+		db.workerStats = make([]IOWorkerStats, workers)
+		for i := range db.workerStats {
+			db.workerStats[i].Worker = i
+		}
+		db.ioWg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go db.ioLoop(i)
+		}
 	}
 	return db
 }
 
-// Close stops the background I/O goroutine, deletes all units and records,
+// Close stops the background I/O workers, deletes all units and records,
 // and marks the database closed. Goroutines blocked in WaitUnit are woken
 // with ErrClosed.
 func (db *DB) Close() error {
@@ -96,11 +124,8 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.cond.Broadcast()
-	done := db.ioDone
 	db.mu.Unlock()
-	if done != nil {
-		<-done
-	}
+	db.ioWg.Wait()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, u := range db.units {
@@ -174,8 +199,8 @@ func (db *DB) reserveLocked(need int64, owner *unit) error {
 		}
 		// Nothing evictable: decide between waiting for another thread to
 		// free memory and declaring the paper's §3.3 deadlock. Detection
-		// assumes the paper's execution model of one main thread plus the
-		// library's I/O goroutine.
+		// generalizes the paper's execution model of one main thread plus
+		// one I/O thread to a pool of N workers (deadlockedLocked).
 		if db.deadlockedLocked(owner) {
 			db.stats.Deadlocks++
 			if owner != nil {
@@ -183,13 +208,25 @@ func (db *DB) reserveLocked(need int64, owner *unit) error {
 			}
 			return ErrDeadlock
 		}
-		bgReader := owner != nil && !owner.inline
-		if bgReader {
-			db.ioBlock = true
+		bgWorker := owner != nil && !owner.inline
+		if bgWorker {
+			db.ioBlocked++
+		} else if owner != nil {
+			db.inlineBlocked++
 		}
+		if owner != nil {
+			owner.memBlocked = true
+		}
+		start := time.Now()
 		db.cond.Wait()
-		if bgReader {
-			db.ioBlock = false
+		if owner != nil {
+			owner.memBlocked = false
+		}
+		if bgWorker {
+			db.ioBlocked--
+			db.workerStats[owner.worker].BlockedTime += time.Since(start)
+		} else if owner != nil {
+			db.inlineBlocked--
 		}
 	}
 	db.mem += need
@@ -199,39 +236,102 @@ func (db *DB) reserveLocked(need int64, owner *unit) error {
 	return nil
 }
 
-// deadlockedLocked applies the paper's deadlock rule when an allocation
+// deadlockedLocked applies the paper's §3.3 deadlock rule, generalized from
+// the paper's two-thread model to an N-worker I/O pool, when an allocation
 // found memory exhausted with nothing evictable: the situation is hopeless
 // when whoever could free memory is itself stuck. owner is the unit whose
 // read function is allocating (nil for an allocation outside any read).
-// Caller holds db.mu.
+// With one worker the rule reduces exactly to the paper's. Caller holds
+// db.mu.
 func (db *DB) deadlockedLocked(owner *unit) bool {
-	switch {
-	case owner == nil:
-		// Plain allocation: hopeless only if the I/O goroutine is also
-		// stuck on memory (it never frees memory on its own).
-		return db.ioBlock
-	case owner.inline:
-		// Inline read on an application thread. In the single-thread
-		// library no other thread exists to free memory; with background
-		// I/O, the I/O goroutine being stuck too means neither can proceed.
-		return !db.bgIO || db.ioBlock
-	default:
-		// The I/O goroutine is allocating. If some thread is blocked
-		// waiting for a unit that only this goroutine can produce, neither
-		// side can make progress: the main thread "neglected to delete
-		// processed units" (paper §3.3).
-		return db.stuckWaiterLocked()
+	appThread := owner == nil || owner.inline
+	if appThread && db.ioWorkers == 0 {
+		// Allocation on the application thread in single-thread mode: no
+		// library thread exists that could ever free memory, so waiting can
+		// never succeed. For an inline read this is the paper's rule
+		// verbatim; a plain allocation fails the same way rather than
+		// waiting on a wake-up that cannot come.
+		return true
 	}
+	if db.progressLocked(owner) {
+		// Some other reader is still running, or an idle worker has pending
+		// units to dispatch: that work may complete units whose consumers
+		// free memory. Not yet hopeless.
+		return false
+	}
+	if owner != nil && owner.inline {
+		// An inline read is the paper's main thread performing a blocking
+		// read. Nothing is progressing: no read anywhere will complete, so
+		// no consumer will ever be woken to free memory, and workers never
+		// free memory on their own. Under the paper's execution model no
+		// other application thread exists either — waiting is hopeless.
+		return true
+	}
+	if owner == nil {
+		// Plain allocation outside any read. If another reader (worker or
+		// inline) is already blocked on memory too, nobody is left to free
+		// anything: with one worker this is exactly the paper's "I/O thread
+		// blocked" condition. With no blocked reader the pool is merely
+		// idle, and another application thread can still Delete or Finish
+		// units — keep waiting.
+		return db.ioBlocked > 0 || db.inlineBlocked > 0
+	}
+	// A pool worker is allocating and nothing else is progressing. Hopeless
+	// if some consumer is provably stuck on a unit only this stalled pool
+	// can produce: the application "neglected to delete processed units"
+	// (paper §3.3).
+	return db.stuckWaiterLocked(owner)
 }
 
-// stuckWaiterLocked reports whether any goroutine is blocked waiting on a
-// unit that has not been produced yet (pending or reading). Waiters on
-// already-ready units are transient — they will wake and may free memory —
-// and do not count.
-func (db *DB) stuckWaiterLocked() bool {
+// progressLocked reports whether any thread other than the caller can still
+// make progress that may lead to memory being freed: a pool worker or an
+// inline reader executing a read without being blocked on memory, or an idle
+// worker with pending units left to dispatch. owner identifies the caller
+// (nil for a plain allocation) so its own read does not count as progress.
+// Caller holds db.mu.
+func (db *DB) progressLocked(owner *unit) bool {
+	selfWorker, selfInline := 0, 0
+	if owner != nil {
+		if owner.inline {
+			selfInline = 1
+		} else {
+			selfWorker = 1
+		}
+	}
+	if db.ioReading-db.ioBlocked > selfWorker {
+		return true
+	}
+	if db.inlineReading-db.inlineBlocked > selfInline {
+		return true
+	}
+	return len(db.queue) > 0 && db.ioReading < db.ioWorkers
+}
+
+// stuckWaiterLocked reports whether some application goroutine is provably
+// stuck on a unit that cannot be produced while the calling worker's
+// allocation waits: a waiter on a pending unit with no idle worker left to
+// dispatch it, a waiter on a unit whose read is blocked on memory (including
+// the caller's own unit, owner, whose read is the allocation being decided),
+// or an inline reader itself blocked on memory inside its read. Waiters on
+// units being read by a still-progressing thread are transient — that read
+// will complete and its consumers may free memory — and do not count, nor do
+// waiters on already-ready units. Caller holds db.mu.
+func (db *DB) stuckWaiterLocked(owner *unit) bool {
 	for _, u := range db.units {
-		if u.waiters > 0 && (u.state == statePending || u.state == stateReading) {
-			return true
+		switch u.state {
+		case statePending:
+			if u.waiters > 0 && db.ioReading >= db.ioWorkers {
+				return true
+			}
+		case stateReading:
+			if u.waiters > 0 && (u == owner || u.memBlocked) {
+				return true
+			}
+			if u.inline && u.memBlocked {
+				// The application thread reading this unit inline is its
+				// own consumer, stuck even with no registered waiters.
+				return true
+			}
 		}
 	}
 	return false
@@ -264,6 +364,7 @@ func (db *DB) evictOneLocked() bool {
 // Caller holds db.mu.
 func (db *DB) dropUnitLocked(u *unit) {
 	db.recordEventLocked(u, u.state, stateDeleted)
+	db.unqueueLocked(u)
 	db.lru.remove(u)
 	for _, r := range u.records {
 		db.dropRecordLocked(r)

@@ -8,10 +8,11 @@ import "time"
 // it was finished, evicted or deleted — the timeline behind the paper's
 // visible-I/O measurements.
 type UnitEvent struct {
-	Unit string
-	From string
-	To   string
-	When time.Time
+	Unit   string
+	From   string
+	To     string
+	Worker int // I/O worker driving the transition, -1 on application threads
+	When   time.Time
 }
 
 // maxEvents bounds the in-memory event log; older events are dropped.
@@ -28,10 +29,11 @@ func (db *DB) recordEventLocked(u *unit, from, to unitState) {
 		db.events = append(db.events[:0], db.events[drop:]...)
 	}
 	db.events = append(db.events, UnitEvent{
-		Unit: u.name,
-		From: from.String(),
-		To:   to.String(),
-		When: time.Now(),
+		Unit:   u.name,
+		From:   from.String(),
+		To:     to.String(),
+		Worker: u.worker,
+		When:   time.Now(),
 	})
 }
 

@@ -36,13 +36,14 @@ func (db *DB) AddUnit(name string, read ReadFunc) error {
 			u.err = nil
 			u.allocFailed = nil
 			u.read = read
+			u.worker = -1
 			db.queue = append(db.queue, u)
 			db.stats.UnitsAdded++
 			db.cond.Broadcast()
 			return nil
 		}
 	}
-	u := &unit{name: name, state: statePending, read: read}
+	u := &unit{name: name, state: statePending, read: read, worker: -1}
 	db.units[name] = u
 	db.recordEventLocked(u, statePending, statePending)
 	db.queue = append(db.queue, u)
@@ -69,7 +70,7 @@ func (db *DB) ReadUnit(name string, read ReadFunc) error {
 	}
 	u, ok := db.units[name]
 	if !ok {
-		u = &unit{name: name, state: statePending, read: read}
+		u = &unit{name: name, state: statePending, read: read, worker: -1}
 		db.units[name] = u
 		db.recordEventLocked(u, statePending, statePending)
 		db.stats.UnitsAdded++
@@ -107,13 +108,20 @@ func (db *DB) acquireUnitLocked(u *unit, inline bool) error {
 	for {
 		switch u.state {
 		case statePending:
-			if inline || !db.bgIO {
+			if inline || db.ioWorkers == 0 {
+				// This thread takes the read over from the pool: the unit
+				// must leave the prefetch FIFO with it, or dead entries
+				// would pin units forever in single-thread mode.
+				db.unqueueLocked(u)
+				u.worker = -1
 				db.recordEventLocked(u, statePending, stateReading)
 				u.state = stateReading
 				u.inline = true
+				db.inlineReading++
 				db.mu.Unlock()
 				db.runRead(u)
 				db.mu.Lock()
+				db.inlineReading--
 				u.inline = false
 				continue
 			}
@@ -163,9 +171,10 @@ func (db *DB) waitStateLocked(u *unit) {
 }
 
 // runRead executes a unit's read function outside the lock and finalizes the
-// unit's state. The caller must have set u.state = stateReading under db.mu
-// and released the lock.
-func (db *DB) runRead(u *unit) {
+// unit's state. It reports whether the unit became ready — false when the
+// read failed or the unit was deleted mid-read. The caller must have set
+// u.state = stateReading under db.mu and released the lock.
+func (db *DB) runRead(u *unit) bool {
 	start := time.Now()
 	err := u.read(&Unit{db: db, u: u})
 	db.mu.Lock()
@@ -198,6 +207,7 @@ func (db *DB) runRead(u *unit) {
 		db.stats.BytesLoaded += u.memory
 	}
 	db.cond.Broadcast()
+	return u.state == stateReady
 }
 
 // FinishUnit tells the database that one consumer has completed processing
@@ -275,12 +285,14 @@ func (db *DB) UnitState(name string) (state string, ok bool) {
 	return u.state.String(), true
 }
 
-// ioLoop is the single background I/O goroutine of the multi-thread library:
-// it pops units off the prefetch FIFO and reads them through their read
-// functions, blocking (inside reserveLocked) when the database is out of
-// memory, until the database is closed.
-func (db *DB) ioLoop() {
-	defer close(db.ioDone)
+// ioLoop is one background I/O worker of the multi-thread library (with
+// Options.IOWorkers == 1, the paper's single I/O thread): it pops units off
+// the prefetch FIFO — dispatch is in AddUnit order because every pop takes
+// the head under db.mu — and reads them through their read functions,
+// blocking (inside reserveLocked) when the database is out of memory, until
+// the database is closed.
+func (db *DB) ioLoop(id int) {
+	defer db.ioWg.Done()
 	for {
 		db.mu.Lock()
 		for !db.closed && len(db.queue) == 0 {
@@ -291,18 +303,51 @@ func (db *DB) ioLoop() {
 			return
 		}
 		u := db.queue[0]
+		db.queue[0] = nil // do not pin the unit through the backing array
 		db.queue = db.queue[1:]
 		if u.state != statePending {
-			// Read inline by ReadUnit/WaitUnit, or deleted, while queued.
+			// Units leaving statePending are unqueued eagerly, so this is
+			// only a defensive skip.
 			db.mu.Unlock()
 			continue
 		}
+		u.worker = id
 		db.recordEventLocked(u, statePending, stateReading)
 		u.state = stateReading
+		db.ioReading++
+		db.workerStats[id].Reading = true
+		db.workerStats[id].Unit = u.name
 		db.mu.Unlock()
-		db.runRead(u)
+		ok := db.runRead(u)
 		db.mu.Lock()
-		db.stats.UnitsPrefetched++
+		db.ioReading--
+		ws := &db.workerStats[id]
+		ws.Reading = false
+		ws.Unit = ""
+		if ok {
+			// Only successful background reads count: UnitsPrefetched must
+			// stay a subset of UnitsRead even when the read fails or the
+			// unit is deleted mid-read.
+			db.stats.UnitsPrefetched++
+			ws.Prefetched++
+		} else if u.state == stateFailed {
+			ws.Failed++
+		}
 		db.mu.Unlock()
+	}
+}
+
+// unqueueLocked removes u from the prefetch FIFO, if present: a unit that
+// leaves statePending by any path other than worker dispatch (inline read,
+// DeleteUnit, Close) must not linger there, or the queue would pin dead
+// units and grow without bound across time steps. Caller holds db.mu.
+func (db *DB) unqueueLocked(u *unit) {
+	for i, q := range db.queue {
+		if q == u {
+			copy(db.queue[i:], db.queue[i+1:])
+			db.queue[len(db.queue)-1] = nil
+			db.queue = db.queue[:len(db.queue)-1]
+			return
+		}
 	}
 }

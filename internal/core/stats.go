@@ -11,7 +11,7 @@ type Stats struct {
 	RecordsCommitted int64
 	UnitsAdded       int64 // units queued via AddUnit or first ReadUnit
 	UnitsRead        int64 // read functions completed successfully
-	UnitsPrefetched  int64 // subset of UnitsRead performed by the I/O goroutine
+	UnitsPrefetched  int64 // subset of UnitsRead performed by the I/O workers
 	UnitsFailed      int64
 	UnitsDeleted     int64
 	UnitsEvicted     int64
@@ -28,4 +28,25 @@ func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.stats
+}
+
+// IOWorkerStats describes one worker of the background I/O pool
+// (Options.IOWorkers). Counters are cumulative since Open.
+type IOWorkerStats struct {
+	Worker      int           // worker index, 0..IOWorkers-1
+	Prefetched  int64         // successful background reads completed
+	Failed      int64         // background reads that ended in stateFailed
+	Reading     bool          // a read is in flight on this worker right now
+	Unit        string        // unit being read while Reading, "" otherwise
+	BlockedTime time.Duration // cumulative time blocked on memory in a read
+}
+
+// IOWorkerStats returns a snapshot of the per-worker counters, one entry per
+// background I/O worker in worker order; empty in single-thread mode.
+func (db *DB) IOWorkerStats() []IOWorkerStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]IOWorkerStats, len(db.workerStats))
+	copy(out, db.workerStats)
+	return out
 }

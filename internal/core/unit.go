@@ -60,8 +60,17 @@ type unit struct {
 	waiters int
 
 	// inline marks a read running on an application thread (ReadUnit, or
-	// WaitUnit in the single-thread library) rather than the I/O goroutine.
+	// WaitUnit in the single-thread library) rather than an I/O worker.
 	inline bool
+
+	// worker is the index of the background I/O worker reading (or last to
+	// read) this unit, -1 for inline reads and never-dispatched units.
+	worker int
+
+	// memBlocked marks that this unit's read function is currently blocked
+	// on memory inside reserveLocked; the deadlock detector uses it to tell
+	// stalled producers from progressing ones.
+	memBlocked bool
 
 	// allocFailed records a memory-reservation failure (e.g. ErrDeadlock)
 	// raised while this unit's read function ran, so the failure reaches

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"godiva/internal/core"
+)
+
+// The worker-pool sweep measures how the background I/O pool
+// (Options.IOWorkers) scales prefetch throughput beyond the paper's single
+// I/O thread. Synthetic units whose read functions sleep for a fixed I/O
+// delay are added up front and consumed in AddUnit order, the paper's batch
+// pattern, so wall time is dominated by how many unit reads the pool can
+// keep in flight at once.
+
+// WorkerSweepConfig configures the worker-pool sweep. Zero fields take the
+// defaults noted on each field.
+type WorkerSweepConfig struct {
+	Workers     []int         // pool sizes to sweep (default 1, 2, 4, 8)
+	Units       int           // units per run (default 64)
+	UnitBytes   int           // payload bytes per unit (default 4096)
+	ReadDelay   time.Duration // simulated I/O time per unit (default 5ms)
+	MemoryLimit int64         // database memory cap (default 64 MB)
+}
+
+func (cfg *WorkerSweepConfig) setDefaults() {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	if cfg.Units == 0 {
+		cfg.Units = 64
+	}
+	if cfg.UnitBytes == 0 {
+		cfg.UnitBytes = 4096
+	}
+	if cfg.ReadDelay == 0 {
+		cfg.ReadDelay = 5 * time.Millisecond
+	}
+	if cfg.MemoryLimit == 0 {
+		cfg.MemoryLimit = 64 << 20
+	}
+}
+
+// WorkerCell reports one pool size's run.
+type WorkerCell struct {
+	Workers     int           // pool size (Options.IOWorkers)
+	Wall        time.Duration // wall time to add, consume and delete all units
+	VisibleWait time.Duration // time the consumer spent blocked in WaitUnit
+	Prefetched  int64         // units completed by the pool (Stats.UnitsPrefetched)
+	Speedup     float64       // wall-time speedup over the sweep's first cell
+}
+
+// RunWorkerCell runs one pool size: every unit is added up front, then
+// consumed (wait, finish, delete) in order.
+func RunWorkerCell(cfg WorkerSweepConfig, workers int) (*WorkerCell, error) {
+	cfg.setDefaults()
+	db := core.Open(core.Options{
+		MemoryLimit:  cfg.MemoryLimit,
+		BackgroundIO: true,
+		IOWorkers:    workers,
+	})
+	defer db.Close()
+	if err := defineSweepSchema(db); err != nil {
+		return nil, err
+	}
+	read := func(u *core.Unit) error {
+		time.Sleep(cfg.ReadDelay)
+		rec, err := u.NewRecord("sweep")
+		if err != nil {
+			return err
+		}
+		if err := rec.SetString("unit", u.Name()); err != nil {
+			return err
+		}
+		if _, err := rec.AllocFieldBuffer("payload", cfg.UnitBytes); err != nil {
+			return err
+		}
+		return u.DB().CommitRecord(rec)
+	}
+	names := make([]string, cfg.Units)
+	for i := range names {
+		names[i] = fmt.Sprintf("unit_%04d", i)
+	}
+	start := time.Now()
+	for _, name := range names {
+		if err := db.AddUnit(name, read); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range names {
+		if err := db.WaitUnit(name); err != nil {
+			return nil, fmt.Errorf("workers=%d: wait %s: %w", workers, name, err)
+		}
+		if err := db.FinishUnit(name); err != nil {
+			return nil, err
+		}
+		if err := db.DeleteUnit(name); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+	s := db.Stats()
+	return &WorkerCell{
+		Workers:     workers,
+		Wall:        wall,
+		VisibleWait: s.VisibleWait,
+		Prefetched:  s.UnitsPrefetched,
+	}, nil
+}
+
+// RunWorkerSweep runs RunWorkerCell for every configured pool size and fills
+// in each cell's speedup over the first.
+func RunWorkerSweep(cfg WorkerSweepConfig) ([]*WorkerCell, error) {
+	cfg.setDefaults()
+	cells := make([]*WorkerCell, 0, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		cell, err := RunWorkerCell(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	base := cells[0].Wall
+	for _, c := range cells {
+		if c.Wall > 0 {
+			c.Speedup = float64(base) / float64(c.Wall)
+		}
+	}
+	return cells, nil
+}
+
+func defineSweepSchema(db *core.DB) error {
+	if err := db.DefineField("unit", core.String, 32); err != nil {
+		return err
+	}
+	if err := db.DefineField("payload", core.Bytes, core.Unknown); err != nil {
+		return err
+	}
+	if err := db.DefineRecordType("sweep", 1); err != nil {
+		return err
+	}
+	if err := db.InsertField("sweep", "unit", true); err != nil {
+		return err
+	}
+	if err := db.InsertField("sweep", "payload", false); err != nil {
+		return err
+	}
+	return db.CommitRecordType("sweep")
+}
+
+// PrintWorkerSweep writes the worker-pool sweep table.
+func PrintWorkerSweep(w io.Writer, cells []*WorkerCell) {
+	fmt.Fprintf(w, "\nBackground I/O worker-pool sweep (synthetic units, wall time):\n")
+	fmt.Fprintf(w, "%7s %12s %17s %11s %8s\n", "workers", "wall (ms)", "wait in app (ms)", "prefetched", "speedup")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%7d %12.1f %17.1f %11d %7.2fx\n",
+			c.Workers,
+			float64(c.Wall.Microseconds())/1e3,
+			float64(c.VisibleWait.Microseconds())/1e3,
+			c.Prefetched, c.Speedup)
+	}
+}

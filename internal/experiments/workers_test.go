@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Four workers over 64 five-millisecond reads have a sleep floor of ~80ms
+// against the single worker's hard 320ms floor, so demanding a 2x win leaves
+// a wide scheduling margin even on a loaded machine.
+func TestWorkerSweepScales(t *testing.T) {
+	cfg := WorkerSweepConfig{Workers: []int{1, 4}}
+	cells, err := RunWorkerSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Prefetched != 64 {
+			t.Errorf("workers=%d: Prefetched = %d, want 64", c.Workers, c.Prefetched)
+		}
+	}
+	one, four := cells[0], cells[1]
+	if one.Workers != 1 || four.Workers != 4 {
+		t.Fatalf("cell order = %d, %d, want 1, 4", one.Workers, four.Workers)
+	}
+	if one.Wall < 64*5*time.Millisecond {
+		t.Errorf("workers=1 wall %v below the 320ms sleep floor: reads overlapped", one.Wall)
+	}
+	if four.Wall*2 > one.Wall {
+		t.Errorf("workers=4 wall %v not 2x faster than workers=1 wall %v", four.Wall, one.Wall)
+	}
+	if four.Speedup < 2 {
+		t.Errorf("workers=4 speedup %.2f < 2", four.Speedup)
+	}
+}
+
+func TestPrintWorkerSweep(t *testing.T) {
+	cells := []*WorkerCell{
+		{Workers: 1, Wall: 320 * time.Millisecond, VisibleWait: 300 * time.Millisecond, Prefetched: 64, Speedup: 1},
+		{Workers: 4, Wall: 80 * time.Millisecond, VisibleWait: 60 * time.Millisecond, Prefetched: 64, Speedup: 4},
+	}
+	var sb strings.Builder
+	PrintWorkerSweep(&sb, cells)
+	out := sb.String()
+	for _, want := range []string{"workers", "speedup", "4.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

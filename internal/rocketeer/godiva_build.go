@@ -261,7 +261,10 @@ func runGodiva(cfg Config, background bool) (*Result, error) {
 	db := core.Open(core.Options{
 		MemoryLimit:  cfg.memoryLimit(),
 		BackgroundIO: background,
-		TraceUnits:   cfg.TraceUnits,
+		// The paper-reproduction runs pin the pool to the paper's single
+		// I/O thread; IOWorkers is ignored in the single-thread (G) build.
+		IOWorkers:  1,
+		TraceUnits: cfg.TraceUnits,
 	})
 	defer db.Close()
 	if err := defineSchema(db); err != nil {

@@ -58,7 +58,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.MemoryLimit == 0 {
 		cfg.MemoryLimit = 384 << 20
 	}
-	db := core.Open(core.Options{MemoryLimit: cfg.MemoryLimit, BackgroundIO: true})
+	// IOWorkers pinned to 1: interactive sessions reproduce the paper's
+	// single-I/O-thread behavior.
+	db := core.Open(core.Options{MemoryLimit: cfg.MemoryLimit, BackgroundIO: true, IOWorkers: 1})
 	if err := defineSchema(db); err != nil {
 		db.Close()
 		return nil, err

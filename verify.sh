@@ -1,0 +1,22 @@
+#!/bin/sh
+# Pre-merge verification: vet, build, the full test suite, and a
+# race-detector pass over the concurrent core (worker pool, prefetch,
+# deadlock detection). EXPERIMENTS.md cites this as the gate every change
+# must clear.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/core/..."
+go test -race -count=1 ./internal/core/...
+
+echo "verify.sh: all checks passed"
