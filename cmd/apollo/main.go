@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"godiva/internal/genx"
+	"godiva/internal/remote"
 	"godiva/internal/rocketeer"
 )
 
@@ -53,11 +54,22 @@ func main() {
 		mem    = flag.Int("mem", 384, "initial GODIVA memory limit in MB")
 		width  = flag.Int("width", 640, "image width")
 		height = flag.Int("height", 480, "image height")
+		raddr  = flag.String("remote", "", "godivad server address; fetch units remotely instead of from -data")
 	)
 	flag.Parse()
 
-	spec, err := genx.Discover(*data)
-	if err != nil {
+	var (
+		spec   genx.Spec
+		client *remote.Client
+		err    error
+	)
+	if *raddr != "" {
+		client = remote.NewClient(remote.ClientOptions{Addr: *raddr})
+		if spec, err = client.Spec(); err != nil {
+			fail(err)
+		}
+		defer client.Close()
+	} else if spec, err = genx.Discover(*data); err != nil {
 		fail(err)
 	}
 	lines := strings.Split(demoScript, "\n")
@@ -86,6 +98,7 @@ func main() {
 		ImageDir:    *out,
 		Width:       *width,
 		Height:      *height,
+		Remote:      client,
 	})
 	if err != nil {
 		fail(err)
@@ -159,6 +172,10 @@ func run(s *rocketeer.Session, line string, demo bool, snapshots int) error {
 		fmt.Printf("stats: %d units read, %d cache hits, %d evicted, peak %.1f MB, visible wait %v\n",
 			st.UnitsRead, st.CacheHits, st.UnitsEvicted, float64(st.PeakBytes)/1e6,
 			st.VisibleWait.Round(1e6))
+		if rs, ok := s.ExternalStats()["remote"].(remote.RemoteStats); ok {
+			fmt.Printf("remote: %d fetches (%d coalesced), %d RPCs, %d retries, %d errors, %.1f MB in\n",
+				rs.Fetches, rs.Coalesced, rs.RPCs, rs.Retries, rs.Errors, float64(rs.BytesIn)/1e6)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])

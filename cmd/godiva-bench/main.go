@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	godiva-bench [-fig 3a|3b|par|ablate|workers|all] [-reps 5] [-snapshots 32]
-//	             [-data DIR] [-timescale 0.05] [-quick]
+//	godiva-bench [-fig 3a|3b|par|ablate|workers|remote|all] [-reps 5] [-snapshots 32]
+//	             [-data DIR] [-timescale 0.05] [-quick] [-json BENCH_remote.json]
 //
 // -quick shrinks the run (1 rep, 6 snapshots, faster clock) for a smoke
 // pass; the defaults reproduce the full experiment in a few minutes.
@@ -19,18 +19,20 @@ import (
 	"os"
 
 	"godiva/internal/experiments"
+	"godiva/internal/genx"
 	"godiva/internal/rocketeer"
 )
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "experiment: 3a, 3b, par, ablate, workers or all")
+		fig       = flag.String("fig", "all", "experiment: 3a, 3b, par, ablate, workers, remote or all")
 		reps      = flag.Int("reps", 0, "repetitions per configuration (0 = default)")
 		snapshots = flag.Int("snapshots", 0, "snapshots per run (0 = all 32)")
 		data      = flag.String("data", "godiva-bench-data", "dataset directory (generated on demand)")
 		timescale = flag.Float64("timescale", 0, "wall seconds per virtual second (0 = default)")
 		quick     = flag.Bool("quick", false, "fast smoke configuration")
 		procs     = flag.Int("procs", 4, "process count for the parallel experiment")
+		jsonOut   = flag.String("json", "BENCH_remote.json", "remote-sweep JSON artifact path (empty = no file)")
 	)
 	flag.Parse()
 
@@ -54,8 +56,9 @@ func main() {
 	runPar := *fig == "par" || *fig == "all"
 	runAbl := *fig == "ablate" || *fig == "all"
 	runWrk := *fig == "workers" || *fig == "all"
-	if !run3a && !run3b && !runPar && !runAbl && !runWrk {
-		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers or all)\n", *fig)
+	runRem := *fig == "remote" || *fig == "all"
+	if !run3a && !run3b && !runPar && !runAbl && !runWrk && !runRem {
+		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers, remote or all)\n", *fig)
 		os.Exit(2)
 	}
 
@@ -118,6 +121,26 @@ func main() {
 			fail(err)
 		}
 		experiments.PrintWorkerSweep(os.Stdout, cells)
+		fmt.Println()
+	}
+	if runRem {
+		fmt.Println("== Remote unit service: local vs remote read functions (godivad on loopback) ==")
+		rcfg := experiments.RemoteSweepConfig{Dir: *data + "-remote", Log: s.Log}
+		if *quick {
+			rcfg.Spec = genx.Scaled(32)
+			rcfg.Workers = []int{1, 4}
+		}
+		cells, err := experiments.RunRemoteSweep(rcfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintRemoteSweep(os.Stdout, cells)
+		if *jsonOut != "" {
+			if err := experiments.WriteRemoteJSON(*jsonOut, cells); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nwrote %s\n", *jsonOut)
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"godiva/internal/genx"
+	"godiva/internal/remote"
 	"godiva/internal/rocketeer"
 )
 
@@ -36,6 +37,8 @@ func main() {
 		width   = flag.Int("width", 640, "image width")
 		height  = flag.Int("height", 480, "image height")
 		trace   = flag.Bool("trace", false, "print the unit prefetch timeline (G/TG builds)")
+		raddr   = flag.String("remote", "", "godivad server address; fetch units remotely instead of from -data")
+		workers = flag.Int("io-workers", 0, "background I/O workers (0 = the paper's single thread; TG build)")
 	)
 	flag.Parse()
 
@@ -44,12 +47,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "voyager: unknown test %q (want simple, medium or complex)\n", *test)
 		os.Exit(2)
 	}
-	spec, err := genx.Discover(*data)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "voyager:", err)
-		os.Exit(1)
+	var (
+		spec   genx.Spec
+		client *remote.Client
+		err    error
+	)
+	if *raddr != "" {
+		client = remote.NewClient(remote.ClientOptions{Addr: *raddr})
+		if spec, err = client.Spec(); err != nil {
+			fmt.Fprintln(os.Stderr, "voyager:", err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		fmt.Printf("remote dataset at %s: ", *raddr)
+	} else {
+		spec, err = genx.Discover(*data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voyager:", err)
+			os.Exit(1)
+		}
+		fmt.Print("dataset: ")
 	}
-	fmt.Printf("dataset: %d snapshots x %d files, %d blocks\n",
+	fmt.Printf("%d snapshots x %d files, %d blocks\n",
 		spec.Snapshots, spec.FilesPerSnapshot, spec.Blocks)
 
 	res, err := rocketeer.Run(rocketeer.Version(*version), rocketeer.Config{
@@ -62,6 +81,8 @@ func main() {
 		Width:       *width,
 		Height:      *height,
 		TraceUnits:  *trace,
+		IOWorkers:   *workers,
+		Remote:      client,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "voyager:", err)
@@ -75,6 +96,11 @@ func main() {
 		fmt.Printf("  GODIVA: %d units read (%d prefetched), %d cache hits, peak %0.1f MB\n",
 			res.DB.UnitsRead, res.DB.UnitsPrefetched, res.DB.CacheHits,
 			float64(res.DB.PeakBytes)/1e6)
+	}
+	if client != nil {
+		rs := client.Stats()
+		fmt.Printf("  remote: %d fetches (%d coalesced), %d RPCs, %d retries, %d errors, %.1f MB in\n",
+			rs.Fetches, rs.Coalesced, rs.RPCs, rs.Retries, rs.Errors, float64(rs.BytesIn)/1e6)
 	}
 	if *trace && len(res.Events) > 0 {
 		fmt.Println("  unit timeline (ms from first event):")

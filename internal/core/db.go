@@ -68,7 +68,8 @@ type DB struct {
 	ioWg          sync.WaitGroup  // joined by Close once every worker exits
 	workerStats   []IOWorkerStats // per-worker counters, indexed by worker id
 
-	stats Stats
+	stats        Stats
+	statsSources map[string]func() any // named external counter providers
 
 	traceEvents bool
 	events      []UnitEvent

@@ -1,0 +1,27 @@
+package core
+
+import "testing"
+
+// External stats sources let transports (e.g. the remote unit client)
+// surface their counters alongside DB.Stats.
+func TestExternalStatsSources(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+
+	if got := db.ExternalStats(); len(got) != 0 {
+		t.Fatalf("fresh DB has external stats: %v", got)
+	}
+	calls := 0
+	db.RegisterStatsSource("remote", func() any { calls++; return calls })
+	db.RegisterStatsSource("other", func() any { return "ok" })
+
+	got := db.ExternalStats()
+	if len(got) != 2 || got["remote"] != 1 || got["other"] != "ok" {
+		t.Fatalf("ExternalStats = %v", got)
+	}
+	// Re-registering a name replaces its provider.
+	db.RegisterStatsSource("remote", func() any { return "replaced" })
+	if got := db.ExternalStats(); got["remote"] != "replaced" {
+		t.Fatalf("after re-register: %v", got)
+	}
+}

@@ -1,0 +1,387 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"godiva/internal/core"
+	"godiva/internal/genx"
+	"godiva/internal/remote"
+)
+
+// The remote sweep compares local against remote unit read functions over
+// real GENx snapshot data, across background I/O pool sizes. Both sides use
+// the same GODIVA machinery — AddUnit up front, consume in order, delete —
+// so the only difference between the "local" and "remote" rows of a pool
+// size is where the bytes come from: the local read function opens SHDF
+// files directly, the remote one fetches the same unit payloads from a
+// godivad server on the loopback interface.
+
+// RemoteSweepConfig configures the remote sweep. Zero fields take the
+// defaults noted on each field.
+type RemoteSweepConfig struct {
+	Dir         string        // dataset directory (generated if incomplete)
+	Spec        genx.Spec     // dataset spec (default genx.Scaled(16))
+	Workers     []int         // pool sizes to sweep (default 1, 2, 4, 8)
+	Snapshots   int           // snapshots per run (0 = all in Spec)
+	MemoryLimit int64         // database memory cap (default 256 MB)
+	Faults      remote.Faults // optional server-side fault injection
+	Log         func(format string, args ...any)
+}
+
+func (cfg *RemoteSweepConfig) setDefaults() {
+	if cfg.Spec.Blocks == 0 {
+		cfg.Spec = genx.Scaled(16)
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	if cfg.MemoryLimit == 0 {
+		cfg.MemoryLimit = 256 << 20
+	}
+}
+
+func (cfg *RemoteSweepConfig) logf(format string, args ...any) {
+	if cfg.Log != nil {
+		cfg.Log(format, args...)
+	}
+}
+
+func (cfg *RemoteSweepConfig) snapshots() int {
+	if cfg.Snapshots > 0 && cfg.Snapshots < cfg.Spec.Snapshots {
+		return cfg.Snapshots
+	}
+	return cfg.Spec.Snapshots
+}
+
+// RemoteCell reports one (mode, pool size) run of the remote sweep.
+type RemoteCell struct {
+	Mode        string        // "local" or "remote"
+	Workers     int           // pool size (Options.IOWorkers)
+	Wall        time.Duration // wall time to consume every unit
+	VisibleWait time.Duration // time the consumer spent blocked in WaitUnit
+	UnitsRead   int64
+	BytesLoaded int64   // unit payload bytes committed into the database
+	Throughput  float64 // payload MB/s over the wall time
+
+	// Remote transport counters (zero in local mode).
+	RPCs       int64
+	Retries    int64
+	AvgLatency time.Duration // mean round-trip of successful RPCs
+}
+
+// remoteSweepVars is the variable subset the sweep reads: one node vector
+// and one element scalar, enough to exercise both layouts without making
+// the dataset generation dominate.
+func remoteSweepVars() []string {
+	return []string{genx.NodeVectorFields[1], genx.ElemScalarFields[0]}
+}
+
+// defineRemoteSchema defines the minimal per-block record type the sweep
+// commits into: key fields plus the mesh and swept variables.
+func defineRemoteSchema(db *core.DB) error {
+	fields := []struct {
+		name string
+		typ  core.DataType
+		size int
+		key  bool
+	}{
+		{"block", core.String, 11, true},
+		{"step", core.String, 9, true},
+		{"coords", core.Float64, core.Unknown, false},
+		{"conn", core.Int32, core.Unknown, false},
+		{"gids", core.Int64, core.Unknown, false},
+	}
+	for _, v := range remoteSweepVars() {
+		fields = append(fields, struct {
+			name string
+			typ  core.DataType
+			size int
+			key  bool
+		}{v, core.Float64, core.Unknown, false})
+	}
+	for _, f := range fields {
+		if err := db.DefineField(f.name, f.typ, f.size); err != nil {
+			return err
+		}
+	}
+	if err := db.DefineRecordType("rblock", 2); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		if err := db.InsertField("rblock", f.name, f.key); err != nil {
+			return err
+		}
+	}
+	return db.CommitRecordType("rblock")
+}
+
+// commitRemoteBlock stores one block's payload as a record of the sweep
+// schema. It copies every buffer, as remote payloads may be shared between
+// coalesced fetchers.
+func commitRemoteBlock(u *core.Unit, bd *genx.BlockData) error {
+	rec, err := u.NewRecord("rblock")
+	if err != nil {
+		return err
+	}
+	if err := rec.SetString("block", bd.Name); err != nil {
+		return err
+	}
+	if err := rec.SetString("step", bd.StepID); err != nil {
+		return err
+	}
+	if err := fillF64(rec, "coords", bd.Mesh.Coords); err != nil {
+		return err
+	}
+	buf, err := rec.AllocFieldBuffer("conn", 4*len(bd.Mesh.Tets))
+	if err != nil {
+		return err
+	}
+	conn, err := buf.Int32s()
+	if err != nil {
+		return err
+	}
+	copy(conn, bd.Mesh.Tets)
+	buf, err = rec.AllocFieldBuffer("gids", 8*len(bd.Mesh.GlobalNode))
+	if err != nil {
+		return err
+	}
+	gids, err := buf.Int64s()
+	if err != nil {
+		return err
+	}
+	copy(gids, bd.Mesh.GlobalNode)
+	for _, v := range remoteSweepVars() {
+		data, ok := bd.Node[v]
+		if !ok {
+			data = bd.Elem[v]
+		}
+		if err := fillF64(rec, v, data); err != nil {
+			return err
+		}
+	}
+	return u.DB().CommitRecord(rec)
+}
+
+func fillF64(rec *core.Record, field string, data []float64) error {
+	buf, err := rec.AllocFieldBuffer(field, 8*len(data))
+	if err != nil {
+		return err
+	}
+	dst, err := buf.Float64s()
+	if err != nil {
+		return err
+	}
+	copy(dst, data)
+	return nil
+}
+
+// localRemoteReadFunc reads a snapshot unit from local SHDF files with the
+// sweep schema — the baseline the remote read function is compared to.
+func localRemoteReadFunc(cfg RemoteSweepConfig) core.ReadFunc {
+	vars := remoteSweepVars()
+	return func(u *core.Unit) error {
+		var step int
+		if n, _ := fmt.Sscanf(u.Name(), "snap_%d", &step); n != 1 {
+			return fmt.Errorf("experiments: bad unit name %q", u.Name())
+		}
+		r := &genx.Reader{}
+		for _, path := range cfg.Spec.SnapshotFiles(cfg.Dir, step) {
+			h, err := r.Open(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range h.Blocks() {
+				bd, err := h.ReadBlock(e, vars)
+				if err != nil {
+					h.Close()
+					return err
+				}
+				if err := commitRemoteBlock(u, bd); err != nil {
+					h.Close()
+					return err
+				}
+			}
+			if err := h.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// runRemoteCell runs one (mode, pool size) configuration and reports it.
+func runRemoteCell(cfg RemoteSweepConfig, workers int, read core.ReadFunc, client *remote.Client) (*RemoteCell, error) {
+	db := core.Open(core.Options{
+		MemoryLimit:  cfg.MemoryLimit,
+		BackgroundIO: true,
+		IOWorkers:    workers,
+	})
+	defer db.Close()
+	if err := defineRemoteSchema(db); err != nil {
+		return nil, err
+	}
+	nsnap := cfg.snapshots()
+	names := make([]string, nsnap)
+	for i := range names {
+		names[i] = fmt.Sprintf("snap_%04d", i)
+	}
+	start := time.Now()
+	for _, name := range names {
+		if err := db.AddUnit(name, read); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range names {
+		if err := db.WaitUnit(name); err != nil {
+			return nil, fmt.Errorf("workers=%d: wait %s: %w", workers, name, err)
+		}
+		if err := db.FinishUnit(name); err != nil {
+			return nil, err
+		}
+		if err := db.DeleteUnit(name); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+	s := db.Stats()
+	if s.UnitsFailed != 0 {
+		return nil, fmt.Errorf("workers=%d: %d units failed", workers, s.UnitsFailed)
+	}
+	cell := &RemoteCell{
+		Mode:        "local",
+		Workers:     workers,
+		Wall:        wall,
+		VisibleWait: s.VisibleWait,
+		UnitsRead:   s.UnitsRead,
+		BytesLoaded: s.BytesLoaded,
+	}
+	if wall > 0 {
+		cell.Throughput = float64(s.BytesLoaded) / 1e6 / wall.Seconds()
+	}
+	if client != nil {
+		cell.Mode = "remote"
+		rs := client.Stats()
+		cell.RPCs = rs.RPCs
+		cell.Retries = rs.Retries
+		if n := rs.RPCs - rs.Retries; n > 0 {
+			cell.AvgLatency = rs.Latency / time.Duration(n)
+		}
+	}
+	return cell, nil
+}
+
+// RunRemoteSweep generates the dataset if needed, starts a godivad server on
+// the loopback interface, and runs local and remote cells for every pool
+// size. The rows come back local-first then remote, each ordered by workers.
+func RunRemoteSweep(cfg RemoteSweepConfig) ([]*RemoteCell, error) {
+	cfg.setDefaults()
+	setup := &Setup{Spec: cfg.Spec, Dir: cfg.Dir, Log: cfg.Log}
+	if err := EnsureDataset(setup); err != nil {
+		return nil, err
+	}
+	srv, err := remote.Serve(remote.ServerOptions{
+		Dir:    cfg.Dir,
+		Faults: cfg.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	var cells []*RemoteCell
+	for _, w := range cfg.Workers {
+		cfg.logf("remote sweep: local, %d workers…", w)
+		cell, err := runRemoteCell(cfg, w, localRemoteReadFunc(cfg), nil)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	vars := remoteSweepVars()
+	resolve := func(unit string) ([]string, error) {
+		var step int
+		if n, _ := fmt.Sscanf(unit, "snap_%d", &step); n != 1 {
+			return nil, fmt.Errorf("experiments: bad unit name %q", unit)
+		}
+		return cfg.Spec.SnapshotFiles("", step), nil
+	}
+	for _, w := range cfg.Workers {
+		cfg.logf("remote sweep: remote, %d workers…", w)
+		// A fresh client per cell keeps the transport counters per-cell
+		// and sizes the connection pool to the worker pool.
+		client := remote.NewClient(remote.ClientOptions{Addr: srv.Addr(), PoolSize: w})
+		read := remote.NewReadFunc(client, resolve, vars, commitRemoteBlock)
+		cell, err := runRemoteCell(cfg, w, read, client)
+		client.Close()
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// PrintRemoteSweep writes the remote sweep table.
+func PrintRemoteSweep(w io.Writer, cells []*RemoteCell) {
+	fmt.Fprintf(w, "\nLocal vs remote unit read functions (GENx data, wall time):\n")
+	fmt.Fprintf(w, "%7s %8s %10s %10s %12s %6s %8s %12s\n",
+		"mode", "workers", "wall (ms)", "wait (ms)", "MB/s", "RPCs", "retries", "latency (ms)")
+	for _, c := range cells {
+		lat := "-"
+		if c.AvgLatency > 0 {
+			lat = fmt.Sprintf("%.2f", float64(c.AvgLatency.Microseconds())/1e3)
+		}
+		fmt.Fprintf(w, "%7s %8d %10.1f %10.1f %12.1f %6d %8d %12s\n",
+			c.Mode, c.Workers,
+			float64(c.Wall.Microseconds())/1e3,
+			float64(c.VisibleWait.Microseconds())/1e3,
+			c.Throughput, c.RPCs, c.Retries, lat)
+	}
+}
+
+// remoteCellJSON is the machine-readable form of a RemoteCell: durations in
+// milliseconds, throughput in MB/s.
+type remoteCellJSON struct {
+	Mode          string  `json:"mode"`
+	Workers       int     `json:"workers"`
+	WallMS        float64 `json:"wall_ms"`
+	VisibleWaitMS float64 `json:"visible_wait_ms"`
+	UnitsRead     int64   `json:"units_read"`
+	BytesLoaded   int64   `json:"bytes_loaded"`
+	ThroughputMBs float64 `json:"throughput_mb_s"`
+	RPCs          int64   `json:"rpcs,omitempty"`
+	Retries       int64   `json:"retries,omitempty"`
+	AvgLatencyMS  float64 `json:"avg_latency_ms,omitempty"`
+}
+
+// WriteRemoteJSON writes the sweep's cells as a JSON document (the bench's
+// BENCH_remote.json artifact).
+func WriteRemoteJSON(path string, cells []*RemoteCell) error {
+	out := struct {
+		Experiment string           `json:"experiment"`
+		Cells      []remoteCellJSON `json:"cells"`
+	}{Experiment: "remote-sweep"}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, remoteCellJSON{
+			Mode:          c.Mode,
+			Workers:       c.Workers,
+			WallMS:        float64(c.Wall.Microseconds()) / 1e3,
+			VisibleWaitMS: float64(c.VisibleWait.Microseconds()) / 1e3,
+			UnitsRead:     c.UnitsRead,
+			BytesLoaded:   c.BytesLoaded,
+			ThroughputMBs: c.Throughput,
+			RPCs:          c.RPCs,
+			Retries:       c.Retries,
+			AvgLatencyMS:  float64(c.AvgLatency.Microseconds()) / 1e3,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"godiva/internal/genx"
+	"godiva/internal/remote"
+)
+
+// The remote sweep must produce one local and one remote cell per pool size,
+// move identical payload volumes in both modes, and serialize to the bench's
+// JSON artifact.
+func TestRemoteSweep(t *testing.T) {
+	dir := t.TempDir()
+	cfg := RemoteSweepConfig{
+		Dir:     filepath.Join(dir, "data"),
+		Spec:    genx.Scaled(32),
+		Workers: []int{1, 2},
+		// A light fault rate exercises the client's retries in passing.
+		Faults: remote.Faults{Seed: 7, ErrFrac: 0.1},
+	}
+	cells, err := RunRemoteSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	var local, rem []*RemoteCell
+	for _, c := range cells {
+		switch c.Mode {
+		case "local":
+			local = append(local, c)
+		case "remote":
+			rem = append(rem, c)
+		default:
+			t.Fatalf("unknown mode %q", c.Mode)
+		}
+	}
+	if len(local) != 2 || len(rem) != 2 {
+		t.Fatalf("got %d local + %d remote cells, want 2+2", len(local), len(rem))
+	}
+	for i := range local {
+		if local[i].BytesLoaded != rem[i].BytesLoaded {
+			t.Errorf("workers=%d: local loaded %d bytes, remote %d",
+				local[i].Workers, local[i].BytesLoaded, rem[i].BytesLoaded)
+		}
+		if rem[i].RPCs == 0 {
+			t.Errorf("workers=%d: remote cell has no RPCs", rem[i].Workers)
+		}
+	}
+
+	path := filepath.Join(dir, "BENCH_remote.json")
+	if err := WriteRemoteJSON(path, cells); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Cells      []struct {
+			Mode    string `json:"mode"`
+			Workers int    `json:"workers"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_remote.json does not parse: %v", err)
+	}
+	if doc.Experiment != "remote-sweep" || len(doc.Cells) != 4 {
+		t.Fatalf("JSON artifact: experiment=%q, %d cells", doc.Experiment, len(doc.Cells))
+	}
+}

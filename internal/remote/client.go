@@ -1,0 +1,346 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"godiva/internal/genx"
+)
+
+// ClientOptions configures a unit client.
+type ClientOptions struct {
+	// Addr is the godivad server address (host:port). Required.
+	Addr string
+	// PoolSize bounds the number of concurrent connections (default 4);
+	// with N I/O workers a pool of N keeps every worker's fetch in flight.
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout is the per-request deadline covering the write of the
+	// request and the read of the full response (default 30s).
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a transient failure is retried after the
+	// first attempt (default 4). Transient means a transport error — dial
+	// failure, timeout, connection dropped mid-payload — or a
+	// CodeUnavailable answer; other protocol errors are permanent.
+	MaxRetries int
+	// RetryBase and RetryMax shape the exponential backoff between retries:
+	// attempt n waits about RetryBase·2ⁿ⁻¹ (capped at RetryMax), half fixed
+	// and half jittered so coordinated workers decorrelate. Defaults 20ms
+	// and 500ms.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+func (o *ClientOptions) setDefaults() {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 20 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 500 * time.Millisecond
+	}
+}
+
+// RemoteStats is a snapshot of the client's operation counters, surfaced
+// alongside DB.Stats (see core.DB.RegisterStatsSource) so a run's transport
+// behavior is visible next to its unit accounting.
+type RemoteStats struct {
+	Fetches   int64         // logical fetches requested (including coalesced)
+	Coalesced int64         // fetches served by joining an identical in-flight RPC
+	RPCs      int64         // wire attempts issued (dials and round-trips)
+	Retries   int64         // attempts beyond the first, after transient failures
+	Errors    int64         // fetches that failed permanently (retries exhausted
+	//                         or a non-retryable protocol error)
+	BytesIn int64         // response payload bytes received
+	Latency time.Duration // cumulative round-trip time of successful RPCs
+}
+
+// call is one in-flight single-flight fetch.
+type call struct {
+	done chan struct{}
+	fp   *FilePayload
+	err  error
+}
+
+// Client fetches unit payloads from a godivad server. It is safe for
+// concurrent use by many goroutines (the I/O worker pool): connections are
+// pooled and bounded, identical concurrent fetches are coalesced into one
+// RPC, and transient failures are retried with exponential backoff and
+// jitter.
+type Client struct {
+	opts ClientOptions
+	sem  chan struct{} // bounds concurrent in-use connections
+	done chan struct{} // closed by Close
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	calls  map[string]*call
+	rng    *rand.Rand
+	stats  RemoteStats
+	closed bool
+}
+
+// NewClient creates a client for the given server. Connections are dialed
+// lazily; use Ping to verify the server is reachable.
+func NewClient(opts ClientOptions) *Client {
+	opts.setDefaults()
+	return &Client{
+		opts:  opts,
+		sem:   make(chan struct{}, opts.PoolSize),
+		done:  make(chan struct{}),
+		calls: make(map[string]*call),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() RemoteStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close releases every pooled connection and fails subsequent and blocked
+// operations with ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	close(c.done)
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// Ping checks the server is reachable and speaking the protocol.
+func (c *Client) Ping() error {
+	_, err := c.rpc(OpPing, nil)
+	return err
+}
+
+// Spec asks the server for the served dataset's shape: snapshot count,
+// files per snapshot, block count and time step (the same subset of
+// genx.Spec that genx.Discover recovers from local files).
+func (c *Client) Spec() (genx.Spec, error) {
+	body, err := c.rpc(OpSpec, nil)
+	if err != nil {
+		return genx.Spec{}, err
+	}
+	return decodeSpec(body)
+}
+
+// FetchFile fetches one snapshot file's unit payload: every block with its
+// mesh arrays plus the named variable fields. Concurrent calls for the same
+// (path, vars) join a single RPC; the shared payload must be treated as
+// read-only.
+func (c *Client) FetchFile(path string, vars []string) (*FilePayload, error) {
+	key := path + "\x00" + strings.Join(vars, "\x00")
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.stats.Fetches++
+	if cl, ok := c.calls[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.fp, cl.err
+		case <-c.done:
+			return nil, ErrClientClosed
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.mu.Unlock()
+
+	body, err := c.rpc(OpFetch, encodeFetchReq(path, vars))
+	var fp *FilePayload
+	if err == nil {
+		fp, err = decodeFilePayload(body)
+		if fp != nil {
+			fp.Path = path
+		}
+	}
+	if err != nil {
+		err = fmt.Errorf("remote: fetch %q: %w", path, err)
+	}
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if err != nil {
+		c.stats.Errors++
+	}
+	c.mu.Unlock()
+	cl.fp, cl.err = fp, err
+	close(cl.done)
+	return fp, err
+}
+
+// retryable reports whether an attempt's failure is worth retrying.
+func retryable(err error) bool {
+	if errors.Is(err, ErrClientClosed) {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	// Everything else is transport trouble: dial failures, deadlines,
+	// connections dropped mid-payload, garbled frames from a torn write.
+	return true
+}
+
+// rpc performs one request with retries.
+func (c *Client) rpc(op byte, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.stats.Retries++
+			d := c.backoffLocked(attempt)
+			c.mu.Unlock()
+			select {
+			case <-time.After(d):
+			case <-c.done:
+				return nil, ErrClientClosed
+			}
+		}
+		resp, err := c.attempt(op, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("remote: %d attempts failed, giving up: %w",
+		c.opts.MaxRetries+1, lastErr)
+}
+
+// backoffLocked computes the pre-attempt backoff: exponential in the
+// attempt number, capped, half fixed and half jittered. Caller holds c.mu
+// (the jitter RNG is not concurrency-safe).
+func (c *Client) backoffLocked(attempt int) time.Duration {
+	d := c.opts.RetryBase << (attempt - 1)
+	if d > c.opts.RetryMax || d <= 0 {
+		d = c.opts.RetryMax
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// attempt performs one wire round-trip on a pooled connection.
+func (c *Client) attempt(op byte, body []byte) ([]byte, error) {
+	start := time.Now()
+	c.mu.Lock()
+	c.stats.RPCs++
+	c.mu.Unlock()
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	deadline := start.Add(c.opts.RequestTimeout)
+	conn.SetDeadline(deadline)
+	rop, rbody, err := func() (byte, []byte, error) {
+		if err := writeFrame(conn, op, body); err != nil {
+			return 0, nil, err
+		}
+		return readFrame(conn)
+	}()
+	if err != nil {
+		// The connection is in an unknown state (possibly mid-frame): drop
+		// it rather than return it to the pool.
+		conn.Close()
+		c.releaseSlot()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	c.putConn(conn)
+	if rop == RespErr {
+		return nil, decodeErr(rbody)
+	}
+	if rop != RespOK {
+		return nil, fmt.Errorf("%w: unexpected response op %#02x", ErrProtocol, rop)
+	}
+	c.mu.Lock()
+	c.stats.BytesIn += int64(len(rbody))
+	c.stats.Latency += time.Since(start)
+	c.mu.Unlock()
+	return rbody, nil
+}
+
+// getConn acquires a pool slot and returns an idle or freshly dialed
+// connection. Every successful getConn must be paired with putConn or
+// releaseSlot.
+func (c *Client) getConn() (net.Conn, error) {
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.done:
+		return nil, ErrClientClosed
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.releaseSlot()
+		return nil, ErrClientClosed
+	}
+	var conn net.Conn
+	if n := len(c.idle); n > 0 {
+		conn = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+	}
+	c.mu.Unlock()
+	if conn != nil {
+		return conn, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
+	if err != nil {
+		c.releaseSlot()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// putConn returns a healthy connection to the idle pool.
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		c.releaseSlot()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+	c.releaseSlot()
+}
+
+func (c *Client) releaseSlot() { <-c.sem }

@@ -1,0 +1,170 @@
+package remote
+
+import (
+	"fmt"
+	"sort"
+
+	"godiva/internal/genx"
+	"godiva/internal/mesh"
+)
+
+// FilePayload is one snapshot file's unit payload: every block stored in the
+// file with its mesh arrays and the requested variable fields — exactly what
+// a local read function obtains from genx.FileHandle.ReadBlock, so records
+// committed from it are byte-identical to local SHDF reads.
+//
+// Payloads returned by Client.FetchFile may be shared between coalesced
+// callers and must be treated as read-only; commit callbacks copy field data
+// into database buffers.
+type FilePayload struct {
+	Path   string // request path, in the server's namespace
+	Time   float64
+	StepID string
+	Blocks []*genx.BlockData
+}
+
+// Bytes returns the payload's approximate data volume: the raw size of every
+// mesh and field array it carries.
+func (fp *FilePayload) Bytes() int64 {
+	var n int64
+	for _, bd := range fp.Blocks {
+		if bd.Mesh != nil {
+			n += int64(8*len(bd.Mesh.Coords) + 4*len(bd.Mesh.Tets) + 8*len(bd.Mesh.GlobalNode))
+		}
+		for _, v := range bd.Node {
+			n += int64(8 * len(v))
+		}
+		for _, v := range bd.Elem {
+			n += int64(8 * len(v))
+		}
+	}
+	return n
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic frames.
+func sortedKeys(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// encodeFilePayload serializes a FilePayload:
+//
+//	f64 time | str stepID | u32 nblocks
+//	per block: u32 id | str name
+//	           u32 ncoords + f64... | u32 ntets + i32... | u32 ngids + i64...
+//	           u16 nnode  (per field: str name | u32 n + f64...)
+//	           u16 nelem  (per field: str name | u32 n + f64...)
+func encodeFilePayload(fp *FilePayload) []byte {
+	var e enc
+	e.f64(fp.Time)
+	e.str(fp.StepID)
+	e.u32(uint32(len(fp.Blocks)))
+	for _, bd := range fp.Blocks {
+		e.u32(uint32(bd.ID))
+		e.str(bd.Name)
+		e.f64s(bd.Mesh.Coords)
+		e.i32s(bd.Mesh.Tets)
+		e.i64s(bd.Mesh.GlobalNode)
+		e.u16(uint16(len(bd.Node)))
+		for _, name := range sortedKeys(bd.Node) {
+			e.str(name)
+			e.f64s(bd.Node[name])
+		}
+		e.u16(uint16(len(bd.Elem)))
+		for _, name := range sortedKeys(bd.Elem) {
+			e.str(name)
+			e.f64s(bd.Elem[name])
+		}
+	}
+	return e.b
+}
+
+// decodeFilePayload parses an encoded FilePayload.
+func decodeFilePayload(body []byte) (*FilePayload, error) {
+	d := dec{b: body}
+	fp := &FilePayload{Time: d.f64(), StepID: d.str()}
+	nblocks := int(d.u32())
+	for i := 0; i < nblocks && d.err == nil; i++ {
+		bd := &genx.BlockData{
+			ID:   int(d.u32()),
+			Name: d.str(),
+			Mesh: &mesh.TetMesh{},
+			Node: make(map[string][]float64),
+			Elem: make(map[string][]float64),
+		}
+		bd.Mesh.Coords = d.f64s()
+		bd.Mesh.Tets = d.i32s()
+		bd.Mesh.GlobalNode = d.i64s()
+		nnode := int(d.u16())
+		for j := 0; j < nnode && d.err == nil; j++ {
+			bd.Node[d.str()] = d.f64s()
+		}
+		nelem := int(d.u16())
+		for j := 0; j < nelem && d.err == nil; j++ {
+			bd.Elem[d.str()] = d.f64s()
+		}
+		bd.Time = fp.Time
+		bd.StepID = fp.StepID
+		fp.Blocks = append(fp.Blocks, bd)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: file payload: %v", ErrProtocol, d.err)
+	}
+	return fp, nil
+}
+
+// encodeSpec serializes the dataset shape answered by OpSpec. The mesh
+// geometry is not carried — remote readers need only the counts and the
+// time step (genx.Discover recovers the same subset from local files).
+func encodeSpec(s genx.Spec) []byte {
+	var e enc
+	e.u32(uint32(s.Snapshots))
+	e.u32(uint32(s.FilesPerSnapshot))
+	e.u32(uint32(s.Blocks))
+	e.f64(s.DT)
+	return e.b
+}
+
+// decodeSpec parses an OpSpec response.
+func decodeSpec(body []byte) (genx.Spec, error) {
+	d := dec{b: body}
+	s := genx.Spec{
+		Snapshots:        int(d.u32()),
+		FilesPerSnapshot: int(d.u32()),
+		Blocks:           int(d.u32()),
+	}
+	s.DT = d.f64()
+	if d.err != nil {
+		return genx.Spec{}, fmt.Errorf("%w: spec payload: %v", ErrProtocol, d.err)
+	}
+	return s, nil
+}
+
+// encodeFetchReq serializes an OpFetch request.
+func encodeFetchReq(path string, vars []string) []byte {
+	var e enc
+	e.str(path)
+	e.u16(uint16(len(vars)))
+	for _, v := range vars {
+		e.str(v)
+	}
+	return e.b
+}
+
+// decodeFetchReq parses an OpFetch request.
+func decodeFetchReq(body []byte) (path string, vars []string, err error) {
+	d := dec{b: body}
+	path = d.str()
+	n := int(d.u16())
+	for i := 0; i < n && d.err == nil; i++ {
+		vars = append(vars, d.str())
+	}
+	if d.err != nil {
+		return "", nil, fmt.Errorf("%w: fetch request: %v", ErrProtocol, d.err)
+	}
+	return path, vars, nil
+}

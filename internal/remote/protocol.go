@@ -1,0 +1,284 @@
+// Package remote turns GODIVA's prefetch pipeline into a client/server data
+// path. The paper's contract (§3.3) is that the library schedules unit I/O
+// while developer-supplied read functions fetch the bytes; every read
+// function in this repository used to open local SHDF files, so the
+// background worker pool could only scale to one machine's disk. This
+// package adds a remote unit service: cmd/godivad serves unit payloads out
+// of a directory of SHDF snapshot files, and Client manufactures
+// core.ReadFuncs that fetch them over TCP — so remote units plug into the
+// existing worker pool, deadlock accounting and LRU cache with zero changes
+// to callers.
+//
+// Wire protocol (all integers little-endian):
+//
+//	frame    u32 length | u8 version | u8 op | payload
+//	         (length = 2 + len(payload), capped at 1 GiB)
+//
+// Request ops: OpPing (empty), OpSpec (empty), OpFetch (str path, u16 nvars,
+// str vars...). Responses: RespOK with an op-specific payload, or RespErr
+// with u16 code + str message. Strings are u16 length + bytes. See DESIGN.md
+// for the full layout and error-code table.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	protoVersion = 1
+	maxFrame     = 1 << 30 // sanity cap on a frame's length field
+)
+
+// Request and response op codes.
+const (
+	OpPing  byte = 0x01 // liveness check, empty payload both ways
+	OpSpec  byte = 0x02 // dataset shape: snapshots, files, blocks, dt
+	OpFetch byte = 0x03 // one snapshot file's unit payload
+	RespOK  byte = 0x80
+	RespErr byte = 0x81
+)
+
+// Protocol error codes carried by RespErr frames. Only CodeUnavailable is
+// transient: clients retry it (and transport failures) with backoff, and
+// treat every other code as a permanent answer.
+const (
+	CodeBadRequest  uint16 = 1 // malformed frame, bad path, unknown variable
+	CodeNotFound    uint16 = 2 // no such snapshot file
+	CodeCorrupt     uint16 = 3 // snapshot file damaged (shdf rejected it)
+	CodeInternal    uint16 = 4 // unexpected server-side failure
+	CodeUnavailable uint16 = 5 // transient condition, retry (fault injection)
+)
+
+// codeName returns a short name for an error code.
+func codeName(code uint16) string {
+	switch code {
+	case CodeBadRequest:
+		return "bad request"
+	case CodeNotFound:
+		return "not found"
+	case CodeCorrupt:
+		return "corrupt"
+	case CodeInternal:
+		return "internal"
+	case CodeUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("code %d", code)
+	}
+}
+
+// ServerError is a protocol-level error answered by the server.
+type ServerError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("remote: server error (%s): %s", codeName(e.Code), e.Msg)
+}
+
+// Retryable reports whether the error names a transient condition.
+func (e *ServerError) Retryable() bool { return e.Code == CodeUnavailable }
+
+// Errors returned by the client. Match with errors.Is.
+var (
+	// ErrClientClosed is returned by operations on a closed Client.
+	ErrClientClosed = errors.New("remote: client is closed")
+	// ErrProtocol is returned for malformed or oversized frames.
+	ErrProtocol = errors.New("remote: protocol error")
+)
+
+// writeFrame writes one frame.
+func writeFrame(w io.Writer, op byte, body []byte) error {
+	if len(body) > maxFrame-2 {
+		return fmt.Errorf("%w: frame too large (%d bytes)", ErrProtocol, len(body))
+	}
+	hdr := make([]byte, 6)
+	binary.LittleEndian.PutUint32(hdr, uint32(2+len(body)))
+	hdr[4] = protoVersion
+	hdr[5] = op
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame, returning its op and payload.
+func readFrame(r io.Reader) (op byte, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(lenBuf[:])
+	if length < 2 || length > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame length %d", ErrProtocol, length)
+	}
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	if buf[0] != protoVersion {
+		return 0, nil, fmt.Errorf("%w: version %d", ErrProtocol, buf[0])
+	}
+	return buf[1], buf[2:], nil
+}
+
+// --- payload encoding helpers ---
+
+// enc builds a payload.
+type enc struct{ b []byte }
+
+func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u64(math.Float64bits(x))
+	}
+}
+
+func (e *enc) i32s(v []int32) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+func (e *enc) i64s(v []int64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u64(uint64(x))
+	}
+}
+
+// dec walks a payload, remembering the first error (same shape as the shdf
+// directory decoder).
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) need(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b)-d.off {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u16() uint16 {
+	b := d.need(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *dec) u32() uint32 {
+	b := d.need(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string { return string(d.need(int(d.u16()))) }
+
+// count reads a u32 element count and validates that count*elemSize bytes
+// remain, so a corrupt frame cannot drive a huge allocation.
+func (d *dec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && (n < 0 || n > (len(d.b)-d.off)/elemSize) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	return n
+}
+
+func (d *dec) f64s() []float64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *dec) i32s() []int32 {
+	n := d.count(4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.u32())
+	}
+	return out
+}
+
+func (d *dec) i64s() []int64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(d.u64())
+	}
+	return out
+}
+
+// encodeErr builds a RespErr payload.
+func encodeErr(code uint16, msg string) []byte {
+	var e enc
+	e.u16(code)
+	e.str(msg)
+	return e.b
+}
+
+// decodeErr parses a RespErr payload.
+func decodeErr(body []byte) *ServerError {
+	d := dec{b: body}
+	code := d.u16()
+	msg := d.str()
+	if d.err != nil {
+		return &ServerError{Code: CodeInternal, Msg: "unparseable error frame"}
+	}
+	return &ServerError{Code: code, Msg: msg}
+}

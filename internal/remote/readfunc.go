@@ -1,0 +1,48 @@
+package remote
+
+import (
+	"fmt"
+
+	"godiva/internal/core"
+	"godiva/internal/genx"
+)
+
+// Resolver maps a processing-unit name to the snapshot files holding its
+// data, as paths in the server's namespace (relative to godivad's -data
+// directory). The paper passes the unit name back to the read function for
+// exactly this kind of name-to-dataset mapping.
+type Resolver func(unit string) ([]string, error)
+
+// CommitFunc stores one fetched block into the database through the unit
+// handle, the remote counterpart of the commit step inside a local read
+// function. It must copy field data into database buffers: the BlockData
+// may be shared with coalesced fetchers.
+type CommitFunc func(u *core.Unit, bd *genx.BlockData) error
+
+// NewReadFunc manufactures a developer-supplied read function (paper §3.3)
+// backed by a godivad server: it resolves the unit name to snapshot files,
+// fetches each file's blocks with the given variables, and commits them.
+// The returned function plugs into AddUnit/ReadUnit like any local read
+// function — background workers prefetch remote units, failures after retry
+// exhaustion land the unit in the failed state exactly like a local read
+// error, and N workers asking for the same file share one RPC.
+func NewReadFunc(c *Client, resolve Resolver, vars []string, commit CommitFunc) core.ReadFunc {
+	return func(u *core.Unit) error {
+		paths, err := resolve(u.Name())
+		if err != nil {
+			return err
+		}
+		for _, path := range paths {
+			fp, err := c.FetchFile(path, vars)
+			if err != nil {
+				return err
+			}
+			for _, bd := range fp.Blocks {
+				if err := commit(u, bd); err != nil {
+					return fmt.Errorf("remote: commit %s block %s: %w", path, bd.Name, err)
+				}
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,457 @@
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"godiva/internal/genx"
+	"godiva/internal/shdf"
+)
+
+// ServerOptions configures a unit server (cmd/godivad).
+type ServerOptions struct {
+	// Addr is the TCP listen address. Empty means "127.0.0.1:0" (an
+	// ephemeral loopback port, reported by Server.Addr).
+	Addr string
+	// Dir is the snapshot directory served; it must hold a dataset readable
+	// by genx.Discover. Request paths are resolved inside it and may not
+	// escape it.
+	Dir string
+	// ReaderCache caps the LRU of open snapshot readers (default 8). Open
+	// readers hold their SHDF directory and block table in memory, so a
+	// cached file answers fetches without re-reading either.
+	ReaderCache int
+	// IdleTimeout disconnects clients idle longer than this (default 5m).
+	IdleTimeout time.Duration
+	// Faults configures deterministic fault injection (testing; zero = off).
+	Faults Faults
+	// Logf, when non-nil, receives one line per connection event and error.
+	Logf func(format string, args ...any)
+}
+
+// Faults injects failures into a configurable fraction of OpFetch responses
+// so client retry behavior is testable deterministically: decisions come
+// from a private rand.Rand seeded with Seed. Fractions are cumulative —
+// DropFrac 0.05 + ErrFrac 0.05 faults 10% of responses.
+type Faults struct {
+	Seed      int64         // RNG seed (0 means 1, for determinism)
+	DropFrac  float64       // sever the connection mid-payload
+	ErrFrac   float64       // answer CodeUnavailable (client retries)
+	DelayFrac float64       // delay the response by Delay
+	Delay     time.Duration // delay used by DelayFrac
+}
+
+func (f Faults) enabled() bool { return f.DropFrac > 0 || f.ErrFrac > 0 || f.DelayFrac > 0 }
+
+// Fault actions drawn per OpFetch response.
+const (
+	faultNone = iota
+	faultDrop
+	faultErr
+	faultDelay
+)
+
+// ServerStats is a snapshot of the server's operation counters, the
+// server-side half of the subsystem's observability (RemoteStats is the
+// client half).
+type ServerStats struct {
+	Conns          int64 // connections accepted
+	RPCs           int64 // requests handled (all ops)
+	Errors         int64 // error responses sent (excluding injected faults)
+	FaultsInjected int64 // responses dropped, delayed or failed by Faults
+	BytesOut       int64 // response frame bytes written
+	ReaderHits     int64 // fetches served by a cached open reader
+	ReaderOpens    int64 // snapshot files opened
+	ReaderEvicts   int64 // cached readers closed by LRU pressure
+}
+
+// Server serves unit payloads out of a directory of SHDF snapshot files.
+// Start one with Serve; stop it with Close.
+type Server struct {
+	opts  ServerOptions
+	spec  genx.Spec
+	ln    net.Listener
+	cache *readerCache
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	faults Faults
+	rng    *rand.Rand
+	stats  ServerStats
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Serve discovers the dataset in opts.Dir, starts listening, and serves
+// until Close.
+func Serve(opts ServerOptions) (*Server, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.ReaderCache <= 0 {
+		opts.ReaderCache = 8
+	}
+	if opts.IdleTimeout <= 0 {
+		opts.IdleTimeout = 5 * time.Minute
+	}
+	spec, err := genx.Discover(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("remote: serve %s: %w", opts.Dir, err)
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen: %w", err)
+	}
+	s := &Server{
+		opts:  opts,
+		spec:  spec,
+		ln:    ln,
+		cache: newReaderCache(opts.ReaderCache),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.setFaultsLocked(opts.Faults)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Spec returns the served dataset's shape.
+func (s *Server) Spec() genx.Spec { return s.spec }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ReaderHits, st.ReaderOpens, st.ReaderEvicts = s.cache.counters()
+	return st
+}
+
+// SetFaults replaces the fault-injection plan at run time (tests use this to
+// switch failure modes against one server).
+func (s *Server) SetFaults(f Faults) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setFaultsLocked(f)
+}
+
+func (s *Server) setFaultsLocked(f Faults) {
+	s.faults = f
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s.rng = rand.New(rand.NewSource(seed))
+}
+
+// Close stops accepting, severs open connections, joins the handler
+// goroutines and closes every cached reader.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	s.cache.closeAll()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			s.logf("remote: accept: %v", err)
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.stats.Conns++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		op, body, err := readFrame(conn)
+		if err != nil {
+			return // client went away, idled out, or sent garbage
+		}
+		rop, rbody := s.handleRequest(op, body)
+
+		// Fault injection on the data path only, so health checks and spec
+		// discovery stay reliable.
+		if op == OpFetch {
+			switch action, delay := s.faultAction(); action {
+			case faultDrop:
+				// Sever mid-payload: the header promises the full response,
+				// but only a prefix of the body follows before the hang-up —
+				// the client sees an unexpected EOF partway through.
+				cut := len(rbody) / 2
+				if cut > 4096 {
+					cut = 4096
+				}
+				hdr := make([]byte, 6)
+				binary.LittleEndian.PutUint32(hdr, uint32(2+len(rbody)))
+				hdr[4] = protoVersion
+				hdr[5] = rop
+				conn.Write(append(hdr, rbody[:cut]...))
+				return
+			case faultErr:
+				rop, rbody = RespErr, encodeErr(CodeUnavailable, "injected fault")
+			case faultDelay:
+				time.Sleep(delay)
+			}
+		}
+
+		conn.SetWriteDeadline(time.Now().Add(s.opts.IdleTimeout))
+		if err := writeFrame(conn, rop, rbody); err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.stats.BytesOut += int64(6 + len(rbody))
+		s.mu.Unlock()
+	}
+}
+
+// faultAction draws one fault decision for a response.
+func (s *Server) faultAction() (int, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.faults
+	if !f.enabled() {
+		return faultNone, 0
+	}
+	r := s.rng.Float64()
+	action := faultNone
+	switch {
+	case r < f.DropFrac:
+		action = faultDrop
+	case r < f.DropFrac+f.ErrFrac:
+		action = faultErr
+	case r < f.DropFrac+f.ErrFrac+f.DelayFrac:
+		action = faultDelay
+	}
+	if action != faultNone {
+		s.stats.FaultsInjected++
+	}
+	return action, f.Delay
+}
+
+// handleRequest dispatches one request and returns the response frame. A
+// panic anywhere in the read path (e.g. a decoder bug on a damaged snapshot)
+// is converted into a clean CodeInternal response rather than killing the
+// connection handler.
+func (s *Server) handleRequest(op byte, body []byte) (rop byte, rbody []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("remote: panic serving op %#02x: %v", op, r)
+			rop, rbody = RespErr, encodeErr(CodeInternal, fmt.Sprintf("panic: %v", r))
+		}
+	}()
+	countErr := func(code uint16, msg string) (byte, []byte) {
+		s.mu.Lock()
+		s.stats.Errors++
+		s.mu.Unlock()
+		return RespErr, encodeErr(code, msg)
+	}
+	s.mu.Lock()
+	s.stats.RPCs++
+	s.mu.Unlock()
+	switch op {
+	case OpPing:
+		return RespOK, nil
+	case OpSpec:
+		return RespOK, encodeSpec(s.spec)
+	case OpFetch:
+		path, vars, err := decodeFetchReq(body)
+		if err != nil {
+			return countErr(CodeBadRequest, err.Error())
+		}
+		fp, err := s.fetch(path, vars)
+		if err != nil {
+			s.logf("remote: fetch %s: %v", path, err)
+			return countErr(errCode(err), err.Error())
+		}
+		return RespOK, encodeFilePayload(fp)
+	default:
+		return countErr(CodeBadRequest, fmt.Sprintf("unknown op %#02x", op))
+	}
+}
+
+// errCode maps a fetch error onto a protocol error code.
+func errCode(err error) uint16 {
+	var se *ServerError
+	switch {
+	case errors.As(err, &se):
+		return se.Code
+	case os.IsNotExist(err):
+		return CodeNotFound
+	case errors.Is(err, shdf.ErrNotSHDF),
+		errors.Is(err, shdf.ErrCorrupt),
+		errors.Is(err, shdf.ErrChecksum),
+		errors.Is(err, shdf.ErrNoObject),
+		errors.Is(err, shdf.ErrBadType):
+		return CodeCorrupt
+	default:
+		return CodeInternal
+	}
+}
+
+// fetch reads one snapshot file's blocks through the reader cache.
+func (s *Server) fetch(path string, vars []string) (*FilePayload, error) {
+	if path == "" || !filepath.IsLocal(path) || !strings.HasSuffix(path, ".shdf") {
+		return nil, &ServerError{Code: CodeBadRequest, Msg: fmt.Sprintf("bad path %q", path)}
+	}
+	ent, err := s.cache.acquire(filepath.Join(s.opts.Dir, path))
+	if err != nil {
+		return nil, err
+	}
+	defer s.cache.release(ent)
+	// The genx file handle tracks a read position (for platform-cost
+	// modeling), so reads through one handle are serialized; concurrency
+	// comes from the cache holding many files open.
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	fp := &FilePayload{Path: path, Time: ent.h.Time, StepID: ent.h.StepID}
+	for _, e := range ent.h.Blocks() {
+		bd, err := ent.h.ReadBlock(e, vars)
+		if err != nil {
+			return nil, err
+		}
+		fp.Blocks = append(fp.Blocks, bd)
+	}
+	return fp, nil
+}
+
+// --- LRU cache of open snapshot readers ---
+
+type cacheEntry struct {
+	path  string
+	h     *genx.FileHandle
+	mu    sync.Mutex // serializes reads through the handle
+	refs  int
+	stamp int64 // LRU clock at last acquire
+}
+
+type readerCache struct {
+	mu      sync.Mutex
+	max     int
+	clock   int64
+	entries map[string]*cacheEntry
+
+	hits, opens, evicts int64
+}
+
+func newReaderCache(max int) *readerCache {
+	return &readerCache{max: max, entries: make(map[string]*cacheEntry)}
+}
+
+func (rc *readerCache) counters() (hits, opens, evicts int64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.hits, rc.opens, rc.evicts
+}
+
+// acquire returns an open reader for path, opening and caching it on a miss
+// and evicting idle least-recently-used readers beyond the cap. The entry
+// stays pinned (refs > 0) until release, so eviction never closes a file
+// mid-read; when every cached file is busy the cache temporarily exceeds
+// its cap instead.
+func (rc *readerCache) acquire(path string) (*cacheEntry, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.clock++
+	if e, ok := rc.entries[path]; ok {
+		e.refs++
+		e.stamp = rc.clock
+		rc.hits++
+		return e, nil
+	}
+	h, err := (&genx.Reader{}).Open(path)
+	if err != nil {
+		return nil, err
+	}
+	rc.opens++
+	e := &cacheEntry{path: path, h: h, refs: 1, stamp: rc.clock}
+	rc.entries[path] = e
+	for len(rc.entries) > rc.max {
+		victim := (*cacheEntry)(nil)
+		for _, c := range rc.entries {
+			if c.refs == 0 && (victim == nil || c.stamp < victim.stamp) {
+				victim = c
+			}
+		}
+		if victim == nil {
+			break // everything busy; stay over cap until releases catch up
+		}
+		delete(rc.entries, victim.path)
+		victim.h.Close()
+		rc.evicts++
+	}
+	return e, nil
+}
+
+func (rc *readerCache) release(e *cacheEntry) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	e.refs--
+}
+
+func (rc *readerCache) closeAll() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, e := range rc.entries {
+		e.h.Close()
+	}
+	rc.entries = make(map[string]*cacheEntry)
+}

@@ -6,6 +6,7 @@ import (
 	"godiva/internal/core"
 	"godiva/internal/genx"
 	"godiva/internal/mesh"
+	"godiva/internal/remote"
 )
 
 // Names of the GODIVA schema Voyager uses: one record per block per
@@ -104,22 +105,38 @@ func orderedVars(vars []string) []string {
 	return out
 }
 
+// unitPaths resolves a unit name back into the snapshot file(s) holding its
+// data, rooted at dir ("" yields paths in a godivad server's namespace).
+func unitPaths(spec genx.Spec, dir, unit string) ([]string, error) {
+	var step, file int
+	if n, _ := fmt.Sscanf(unit, "snap_%d_f%d", &step, &file); n == 2 {
+		return []string{genx.SnapshotFile(dir, step, file)}, nil
+	}
+	if n, _ := fmt.Sscanf(unit, "snap_%d", &step); n == 1 {
+		return spec.SnapshotFiles(dir, step), nil
+	}
+	return nil, fmt.Errorf("rocketeer: bad unit name %q", unit)
+}
+
 // makeReadFunc builds the developer-supplied read function: it parses the
 // unit name back into a snapshot (or snapshot-file) index — the paper
 // passes the unit name to the read function for exactly this — reads every
 // block of the unit's files, and commits one record per block into the
-// database.
+// database. With Config.Remote the same units are fetched from a godivad
+// server instead of local files; the worker pool, deadlock accounting and
+// cache behave identically either way.
 func makeReadFunc(cfg Config, reader *genx.Reader) core.ReadFunc {
 	vars := orderedVars(cfg.Test.Vars)
+	if cfg.Remote != nil {
+		resolve := func(unit string) ([]string, error) {
+			return unitPaths(cfg.Spec, "", unit)
+		}
+		return remote.NewReadFunc(cfg.Remote, resolve, vars, commitBlockRecord)
+	}
 	return func(u *core.Unit) error {
-		var step, file int
-		var paths []string
-		if n, _ := fmt.Sscanf(u.Name(), "snap_%d_f%d", &step, &file); n == 2 {
-			paths = []string{genx.SnapshotFile(cfg.Dir, step, file)}
-		} else if n, _ := fmt.Sscanf(u.Name(), "snap_%d", &step); n == 1 {
-			paths = cfg.Spec.SnapshotFiles(cfg.Dir, step)
-		} else {
-			return fmt.Errorf("rocketeer: bad unit name %q", u.Name())
+		paths, err := unitPaths(cfg.Spec, cfg.Dir, u.Name())
+		if err != nil {
+			return err
 		}
 		for _, path := range paths {
 			h, err := reader.Open(path)
@@ -258,15 +275,22 @@ func (s *gSource) Var(name, field string) ([]float64, error) {
 // batch-mode pattern). background selects the multi-thread library (TG)
 // over the single-thread one (G).
 func runGodiva(cfg Config, background bool) (*Result, error) {
+	// The paper-reproduction runs pin the pool to the paper's single I/O
+	// thread (IOWorkers zero); it is ignored in the single-thread (G) build.
+	workers := cfg.IOWorkers
+	if workers < 1 {
+		workers = 1
+	}
 	db := core.Open(core.Options{
 		MemoryLimit:  cfg.memoryLimit(),
 		BackgroundIO: background,
-		// The paper-reproduction runs pin the pool to the paper's single
-		// I/O thread; IOWorkers is ignored in the single-thread (G) build.
-		IOWorkers:  1,
-		TraceUnits: cfg.TraceUnits,
+		IOWorkers:    workers,
+		TraceUnits:   cfg.TraceUnits,
 	})
 	defer db.Close()
+	if cfg.Remote != nil {
+		db.RegisterStatsSource("remote", func() any { return cfg.Remote.Stats() })
+	}
 	if err := defineSchema(db); err != nil {
 		return nil, err
 	}

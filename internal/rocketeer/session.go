@@ -7,6 +7,7 @@ import (
 	"godiva/internal/core"
 	"godiva/internal/genx"
 	"godiva/internal/platform"
+	"godiva/internal/remote"
 )
 
 // SessionConfig configures an interactive session (the Apollo/Houston side
@@ -21,6 +22,12 @@ type SessionConfig struct {
 	// platform, as in the batch experiments.
 	Machine     *platform.Machine
 	VolumeScale float64
+	// IOWorkers sizes the background I/O worker pool (zero = the paper's
+	// single I/O thread).
+	IOWorkers int
+	// Remote, when set, fetches units from a godivad server instead of
+	// local files (Dir is then ignored). Mutually exclusive with Machine.
+	Remote *remote.Client
 }
 
 // Session is a stateful interactive visualization session over a snapshot
@@ -58,9 +65,19 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.MemoryLimit == 0 {
 		cfg.MemoryLimit = 384 << 20
 	}
-	// IOWorkers pinned to 1: interactive sessions reproduce the paper's
-	// single-I/O-thread behavior.
-	db := core.Open(core.Options{MemoryLimit: cfg.MemoryLimit, BackgroundIO: true, IOWorkers: 1})
+	if cfg.Remote != nil && cfg.Machine != nil {
+		return nil, fmt.Errorf("rocketeer: Remote and Machine are mutually exclusive")
+	}
+	workers := cfg.IOWorkers
+	if workers < 1 {
+		// Default 1: interactive sessions reproduce the paper's
+		// single-I/O-thread behavior.
+		workers = 1
+	}
+	db := core.Open(core.Options{MemoryLimit: cfg.MemoryLimit, BackgroundIO: true, IOWorkers: workers})
+	if cfg.Remote != nil {
+		db.RegisterStatsSource("remote", func() any { return cfg.Remote.Stats() })
+	}
 	if err := defineSchema(db); err != nil {
 		db.Close()
 		return nil, err
@@ -72,6 +89,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		Dir:         cfg.Dir,
 		Machine:     cfg.Machine,
 		VolumeScale: cfg.VolumeScale,
+		Remote:      cfg.Remote,
 	}
 	reader := &genx.Reader{M: cfg.Machine, VolumeScale: cfg.VolumeScale}
 	names := make([]string, cfg.Spec.Blocks)
@@ -93,6 +111,10 @@ func (s *Session) Close() error { return s.db.Close() }
 
 // Stats returns the underlying database counters.
 func (s *Session) Stats() core.Stats { return s.db.Stats() }
+
+// ExternalStats returns the registered external counter snapshots (e.g. the
+// remote client's transport stats), keyed by source name.
+func (s *Session) ExternalStats() map[string]any { return s.db.ExternalStats() }
 
 // SetMemSpace adjusts the database memory cap at run time.
 func (s *Session) SetMemSpace(bytes int64) { s.db.SetMemSpace(bytes) }

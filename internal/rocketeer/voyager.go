@@ -8,6 +8,7 @@ import (
 	"godiva/internal/genx"
 	"godiva/internal/mesh"
 	"godiva/internal/platform"
+	"godiva/internal/remote"
 	"godiva/internal/render"
 )
 
@@ -61,6 +62,16 @@ type Config struct {
 	// granularity the paper's §3.2 describes as an alternative. Only
 	// meaningful for the GODIVA builds.
 	UnitPerFile bool
+	// IOWorkers sizes the background I/O worker pool of the TG build. Zero
+	// keeps the paper's single I/O thread; the paper-reproduction
+	// experiments leave it zero for exactly that reason.
+	IOWorkers int
+	// Remote, when set, makes the GODIVA builds fetch unit data from a
+	// godivad server instead of opening local SHDF files: Dir is ignored
+	// and snapshot files are resolved in the server's namespace. Remote
+	// runs execute at native speed — combining Remote with Machine is an
+	// error, since platform simulation models a local disk.
+	Remote *remote.Client
 	// ImageDir, when non-empty, receives one PNG per pass per snapshot.
 	ImageDir string
 	// Width and Height size rendered images (default 160x120).
@@ -114,6 +125,12 @@ func Run(v Version, cfg Config) (*Result, error) {
 	}
 	if cfg.Height == 0 {
 		cfg.Height = 120
+	}
+	if cfg.Remote != nil && cfg.Machine != nil {
+		return nil, fmt.Errorf("rocketeer: Remote and Machine are mutually exclusive")
+	}
+	if cfg.Remote != nil && v == VersionO {
+		return nil, fmt.Errorf("rocketeer: the original (O) build reads local files; remote units need a GODIVA build")
 	}
 	var stopLoad func()
 	if cfg.CompetingLoad {

@@ -1,0 +1,153 @@
+package shdf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// sampleImage builds an in-memory image with one of each object kind, so
+// both tests and the fuzz seed corpus can use it without a testing.T.
+func sampleImage() ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	sds, err := w.WriteSDS("pressure", []int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		return nil, err
+	}
+	attr, err := w.WriteAttr("units", "pascal")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.WriteVGroup("block_0001", []Ref{sds, attr}); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func sampleBytes(t *testing.T) []byte {
+	t.Helper()
+	data, err := sampleImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// exerciseAll opens an image and drives every read path the server uses on a
+// client-supplied file; any panic fails the calling test or fuzz run.
+func exerciseAll(data []byte) {
+	f, err := NewFile(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return // rejected at open: the desired outcome for damaged files
+	}
+	for _, info := range f.Objects() {
+		f.ReadSDS(info.Ref)
+		f.ReadAttr(info.Ref)
+		f.ReadVGroup(info.Ref)
+	}
+	f.Datasets()
+	f.VGroups()
+}
+
+// FuzzReader feeds arbitrary images through every decode path. The corpus
+// seeds a valid file plus truncations and targeted header/footer mutations;
+// `go test` runs the seeds, `go test -fuzz=FuzzReader` explores further.
+func FuzzReader(f *testing.F) {
+	data, err := sampleImage()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	for _, n := range []int{0, 4, 8, len(data) / 2, len(data) - 1} {
+		if n <= len(data) {
+			f.Add(append([]byte(nil), data[:n]...))
+		}
+	}
+	// Footer with a wild directory offset and count.
+	mut := append([]byte(nil), data...)
+	if len(mut) >= 16 {
+		binary.LittleEndian.PutUint64(mut[len(mut)-16:], ^uint64(0))
+		binary.LittleEndian.PutUint32(mut[len(mut)-8:], ^uint32(0))
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		exerciseAll(b)
+	})
+}
+
+// dirOffsetOf parses the footer's directory offset from a valid image.
+func dirOffsetOf(t *testing.T, data []byte) int {
+	t.Helper()
+	if len(data) < 16 {
+		t.Fatal("image too short for a footer")
+	}
+	off := binary.LittleEndian.Uint64(data[len(data)-16:])
+	if off > uint64(len(data)) {
+		t.Fatalf("bad sample dir offset %d", off)
+	}
+	return int(off)
+}
+
+// TestDescriptorTableCorruption rewrites every byte of the descriptor table
+// (directory plus footer) to adversarial values: the reader must return an
+// error or a consistent file, and must never panic — the contract godivad
+// relies on to turn damaged snapshots into clean protocol errors.
+func TestDescriptorTableCorruption(t *testing.T) {
+	data := sampleBytes(t)
+	dirOff := dirOffsetOf(t, data)
+	for pos := dirOff; pos < len(data); pos++ {
+		for _, v := range []byte{0x00, 0x01, 0x7F, 0x80, 0xFF} {
+			if data[pos] == v {
+				continue
+			}
+			mut := append([]byte(nil), data...)
+			mut[pos] = v
+			exerciseAll(mut)
+		}
+	}
+}
+
+// TestDescriptorTableTruncation opens every prefix of a valid image: all
+// truncation points, including mid-directory and mid-footer, must fail
+// cleanly or decode a consistent subset.
+func TestDescriptorTableTruncation(t *testing.T) {
+	data := sampleBytes(t)
+	for n := 0; n <= len(data); n++ {
+		exerciseAll(data[:n])
+	}
+}
+
+// TestOversizedCounts plants maximal counts/lengths in directory entries and
+// SDS headers, which previously could drive huge allocations or integer
+// overflow, and asserts the reader rejects them.
+func TestOversizedCounts(t *testing.T) {
+	data := sampleBytes(t)
+	dirOff := dirOffsetOf(t, data)
+	// First directory entry layout: tag u16 | ref u32 | offset u64 |
+	// length u64 | crc u32 | name. Corrupt offset and length to huge values.
+	for _, field := range []struct {
+		name string
+		at   int
+	}{
+		{"entry offset", dirOff + 2 + 4},
+		{"entry length", dirOff + 2 + 4 + 8},
+	} {
+		mut := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(mut[field.at:], ^uint64(0)>>1)
+		f, err := NewFile(bytes.NewReader(mut), int64(len(mut)))
+		if err == nil {
+			for _, info := range f.Objects() {
+				if _, err := f.ReadSDS(info.Ref); err == nil && info.ByteLen > int64(len(mut)) {
+					t.Errorf("%s: oversized object read succeeded", field.name)
+				}
+			}
+		}
+	}
+}

@@ -42,6 +42,9 @@ func Open(path string) (*File, error) {
 
 // NewFile opens an SHDF image held by an io.ReaderAt of the given size.
 func NewFile(r io.ReaderAt, size int64) (*File, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("%w: negative size", ErrNotSHDF)
+	}
 	f := &File{r: r, size: size, byRef: make(map[Ref]int)}
 	if err := f.readHeader(); err != nil {
 		return nil, err
@@ -107,7 +110,10 @@ func (f *File) readDirectory() error {
 		if d.err != nil {
 			return fmt.Errorf("%w: directory entry %d", ErrCorrupt, i)
 		}
-		if e.offset+e.length > dirOffset {
+		// Bounds-check without uint64 wraparound: an entry whose offset or
+		// length was corrupted to a huge value must not pass as in-range
+		// (offset+length can wrap) nor reach make([]byte, length).
+		if e.length > dirOffset || e.offset > dirOffset-e.length {
 			return fmt.Errorf("%w: object %q extends past directory", ErrCorrupt, e.name)
 		}
 		f.byRef[e.ref] = len(f.entries)
@@ -127,7 +133,9 @@ func (d *decoder) need(n int) []byte {
 	if d.err != nil {
 		return nil
 	}
-	if d.off+n > len(d.buf) {
+	// Compare against the remaining length rather than d.off+n, which can
+	// overflow when a corrupt header asks for a near-MaxInt count.
+	if n < 0 || n > len(d.buf)-d.off {
 		d.err = io.ErrUnexpectedEOF
 		return nil
 	}
@@ -278,7 +286,17 @@ func (f *File) ReadSDS(ref Ref) (*Dataset, error) {
 	dims := make([]int, rank)
 	n := 1
 	for i := range dims {
-		dims[i] = int(d.u64())
+		v := d.u64()
+		// Every dimension and the running element count are bounded by the
+		// payload length: anything larger is a corrupt header, and letting it
+		// through would overflow the product or feed a huge make() below.
+		if v > uint64(len(buf)) {
+			return nil, fmt.Errorf("%w: SDS %q dims", ErrCorrupt, e.name)
+		}
+		dims[i] = int(v)
+		if dims[i] != 0 && n > len(buf)/dims[i] {
+			return nil, fmt.Errorf("%w: SDS %q dims", ErrCorrupt, e.name)
+		}
 		n *= dims[i]
 	}
 	if d.err != nil {
@@ -380,7 +398,9 @@ func (f *File) ReadVGroup(ref Ref) (*VGroup, error) {
 	}
 	d := decoder{buf: buf}
 	count := int(d.u32())
-	if count < 0 || count > 1<<24 {
+	// The member list must actually fit in the payload; checking before the
+	// make() keeps a corrupt count from allocating gigabytes.
+	if count < 0 || count > 1<<24 || count > (len(buf)-4)/4 {
 		return nil, fmt.Errorf("%w: vgroup %q count", ErrCorrupt, e.name)
 	}
 	g := &VGroup{Name: e.name, Members: make([]Ref, count)}

@@ -19,4 +19,7 @@ go test ./...
 echo "== go test -race ./internal/core/..."
 go test -race -count=1 ./internal/core/...
 
+echo "== go test -race ./internal/remote/..."
+go test -race -count=1 ./internal/remote/...
+
 echo "verify.sh: all checks passed"
