@@ -6,17 +6,24 @@
 //
 // Usage:
 //
-//	godiva-bench [-fig 3a|3b|par|ablate|workers|remote|all] [-reps 5] [-snapshots 32]
+//	godiva-bench [-fig 3a|3b|par|ablate|workers|remote|lock|all] [-reps 5] [-snapshots 32]
 //	             [-data DIR] [-timescale 0.05] [-quick] [-json BENCH_remote.json]
+//	             [-lockjson BENCH_lock.json] [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // -quick shrinks the run (1 rep, 6 snapshots, faster clock) for a smoke
 // pass; the defaults reproduce the full experiment in a few minutes.
+// -mutexprofile and -blockprofile enable Go's contention profilers for the
+// whole run and write pprof files on successful exit, for inspecting where
+// the database lock is held and where goroutines block.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"godiva/internal/experiments"
 	"godiva/internal/genx"
@@ -33,8 +40,20 @@ func main() {
 		quick     = flag.Bool("quick", false, "fast smoke configuration")
 		procs     = flag.Int("procs", 4, "process count for the parallel experiment")
 		jsonOut   = flag.String("json", "BENCH_remote.json", "remote-sweep JSON artifact path (empty = no file)")
+		lockOut   = flag.String("lockjson", "BENCH_lock.json", "lock-sweep JSON artifact path (empty = no file)")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
+		blockProf = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
 	flag.Parse()
+
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexProf)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(10_000) // sample blocking events >= 10µs
+		defer writeProfile("block", *blockProf)
+	}
 
 	s := experiments.DefaultSetup(*data)
 	if *quick {
@@ -57,8 +76,9 @@ func main() {
 	runAbl := *fig == "ablate" || *fig == "all"
 	runWrk := *fig == "workers" || *fig == "all"
 	runRem := *fig == "remote" || *fig == "all"
-	if !run3a && !run3b && !runPar && !runAbl && !runWrk && !runRem {
-		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers, remote or all)\n", *fig)
+	runLck := *fig == "lock" || *fig == "all"
+	if !run3a && !run3b && !runPar && !runAbl && !runWrk && !runRem && !runLck {
+		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers, remote, lock or all)\n", *fig)
 		os.Exit(2)
 	}
 
@@ -141,10 +161,48 @@ func main() {
 			}
 			fmt.Printf("\nwrote %s\n", *jsonOut)
 		}
+		fmt.Println()
+	}
+	if runLck {
+		fmt.Println("== Lock sweep: query throughput under unit churn (decomposed DB lock) ==")
+		lcfg := experiments.LockSweepConfig{Dir: *data + "-remote", Remote: true, Log: s.Log}
+		if *quick {
+			lcfg.Spec = genx.Scaled(8)
+			lcfg.Readers = []int{1, 4}
+			lcfg.Workers = []int{1}
+			lcfg.Duration = 100 * time.Millisecond
+		}
+		cells, err := experiments.RunLockSweep(lcfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintLockSweep(os.Stdout, cells)
+		if *lockOut != "" {
+			if err := experiments.WriteLockJSON(*lockOut, cells); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nwrote %s\n", *lockOut)
+		}
 	}
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "godiva-bench:", err)
 	os.Exit(1)
+}
+
+// writeProfile dumps a named runtime profile ("mutex", "block") collected
+// over the whole run to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "godiva-bench:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "godiva-bench:", err)
+		return
+	}
+	fmt.Printf("wrote %s profile to %s\n", name, path)
 }

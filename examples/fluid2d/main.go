@@ -50,7 +50,9 @@ func main() {
 			storeBlock(db, fmt.Sprintf("block_%04d", b), step)
 		}
 	}
-	fmt.Printf("committed %d fluid records\n", db.CountRecords("fluid"))
+	n, err := db.CountRecords("fluid")
+	must(err)
+	fmt.Printf("committed %d fluid records\n", n)
 
 	// The paper's example query.
 	buf, err := db.GetFieldBuffer("fluid", "pressure", "block_0003", "0.000075")

@@ -43,9 +43,21 @@ const DefaultMemoryLimit = 256 << 20
 // of one processor's local data. All methods are safe for concurrent use;
 // per the paper each processor owns a private DB and no cross-processor
 // communication happens inside the library.
+//
+// Locking architecture (see DESIGN.md, "Locking architecture"): db.mu is a
+// readers-writer lock. The renderer-facing query path — GetRecord,
+// GetFieldBuffer, GetFieldBufferSize, CountRecords, EachRecord, ScanPrefix —
+// and all introspection take the read side, so concurrent readers never
+// contend with each other; unit lifecycle, memory accounting, schema
+// definition, commits and deletes take the write side. Blocking is built
+// from targeted wakeups instead of a global condition variable: each unit
+// carries its own wait channel (closed on every state transition), blocked
+// memory reservers queue on a dedicated FIFO woken only by events that can
+// change a reservation's outcome, and idle I/O workers queue on their own
+// FIFO from which AddUnit wakes exactly one. Operation counters are atomic
+// (stats.go) and never take the lock.
 type DB struct {
-	mu   sync.Mutex
-	cond *sync.Cond // broadcast on unit state changes and memory releases
+	mu sync.RWMutex
 
 	fieldTypes  map[string]*fieldType
 	recordTypes map[string]*recordType
@@ -56,6 +68,23 @@ type DB struct {
 	queue []*unit // prefetch FIFO (statePending units, in AddUnit order)
 	lru   lruList // finished, unreferenced units, evictable
 
+	// memWaiters is the FIFO of goroutines blocked in reserveLocked waiting
+	// for memory. They are woken, in FIFO order, only by events that can
+	// change a reservation's outcome — either freeing memory or flipping the
+	// §3.3 deadlock verdict: bytes released (releaseLocked), a unit becoming
+	// evictable (FinishUnit), the limit changing (SetMemSpace), a new
+	// unit-state waiter registering, a read ending (runRead — a progressing
+	// reader disappears), a unit dropped (dropUnitLocked — queued work
+	// disappears), and Close. Unit-state waiters are never woken by memory
+	// traffic; ordinary queries wake nobody.
+	memWaiters []chan struct{}
+
+	// idleWorkers is the FIFO of background I/O workers sleeping for the
+	// prefetch queue to become non-empty. AddUnit wakes exactly one idle
+	// worker per enqueued unit; busy workers re-check the queue when their
+	// current read completes and need no signal.
+	idleWorkers []chan struct{}
+
 	mem    int64 // bytes charged
 	limit  int64
 	closed bool
@@ -65,10 +94,10 @@ type DB struct {
 	ioBlocked     int // workers currently blocked on memory in reserveLocked
 	inlineReading int // application threads currently executing an inline read
 	inlineBlocked int // inline readers currently blocked on memory
-	ioWg          sync.WaitGroup  // joined by Close once every worker exits
-	workerStats   []IOWorkerStats // per-worker counters, indexed by worker id
+	ioWg          sync.WaitGroup // joined by Close once every worker exits
+	workers       []workerState  // per-worker state, indexed by worker id
 
-	stats        Stats
+	stats        statsCounters
 	statsSources map[string]func() any // named external counter providers
 
 	traceEvents bool
@@ -100,12 +129,8 @@ func Open(opts Options) *DB {
 		ioWorkers:   workers,
 		traceEvents: opts.TraceUnits,
 	}
-	db.cond = sync.NewCond(&db.mu)
 	if workers > 0 {
-		db.workerStats = make([]IOWorkerStats, workers)
-		for i := range db.workerStats {
-			db.workerStats[i].Worker = i
-		}
+		db.workers = make([]workerState, workers)
 		db.ioWg.Add(workers)
 		for i := 0; i < workers; i++ {
 			go db.ioLoop(i)
@@ -124,7 +149,17 @@ func (db *DB) Close() error {
 		return ErrClosed
 	}
 	db.closed = true
-	db.cond.Broadcast()
+	// Wake everything that could be sleeping: blocked memory reservers and
+	// unit waiters observe db.closed and return ErrClosed, idle workers
+	// observe it and exit.
+	db.wakeMemWaitersLocked()
+	for _, ch := range db.idleWorkers {
+		close(ch)
+	}
+	db.idleWorkers = nil
+	for _, u := range db.units {
+		db.notifyUnitLocked(u)
+	}
 	db.mu.Unlock()
 	db.ioWg.Wait()
 	db.mu.Lock()
@@ -151,20 +186,22 @@ func (db *DB) SetMemSpace(bytes int64) {
 			break
 		}
 	}
-	db.cond.Broadcast()
+	// A raised limit can let blocked reservers proceed even though no bytes
+	// were released; a lowered one changes the hopeless-allocation bound.
+	db.wakeMemWaitersLocked()
 }
 
 // MemUsed returns the bytes currently charged against the memory limit.
 func (db *DB) MemUsed() int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.mem
 }
 
 // MemLimit returns the current memory limit in bytes.
 func (db *DB) MemLimit() int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.limit
 }
 
@@ -177,12 +214,54 @@ func (db *DB) indexFor(recType string) *rbtree.Tree[*Record] {
 	return idx
 }
 
+// --- targeted wakeups ---
+
+// memWaitChLocked registers the caller at the tail of the memory-waiter
+// FIFO and returns its wait channel. The caller must release db.mu before
+// receiving and re-acquire it afterwards. Caller holds db.mu (write).
+func (db *DB) memWaitChLocked() chan struct{} {
+	ch := make(chan struct{})
+	db.memWaiters = append(db.memWaiters, ch)
+	return ch
+}
+
+// wakeMemWaitersLocked wakes every goroutine blocked on memory, in FIFO
+// order, and empties the FIFO; woken reservers re-check their condition
+// and re-register if they still do not fit. Unit-state waiters are not
+// woken — they cannot use memory. Caller holds db.mu (write).
+func (db *DB) wakeMemWaitersLocked() {
+	for i, ch := range db.memWaiters {
+		close(ch)
+		db.memWaiters[i] = nil
+	}
+	db.memWaiters = db.memWaiters[:0]
+}
+
+// notifyUnitLocked wakes every goroutine waiting for u to change state by
+// closing the unit's wait channel. Waiters re-check u.state and lazily
+// create a fresh channel if they need to wait again. Caller holds db.mu
+// (write).
+func (db *DB) notifyUnitLocked(u *unit) {
+	if u.stateCh != nil {
+		close(u.stateCh)
+		u.stateCh = nil
+	}
+}
+
+// setStateLocked moves u to state to, records the transition in the event
+// log and wakes the unit's waiters. Caller holds db.mu (write).
+func (db *DB) setStateLocked(u *unit, to unitState) {
+	db.recordEventLocked(u, u.state, to)
+	u.state = to
+	db.notifyUnitLocked(u)
+}
+
 // reserveLocked charges need bytes against the memory limit, evicting
 // finished units (LRU first) and blocking until space is available. owner is
 // the unit whose read function is allocating, or nil for allocations made
 // outside any read function. It returns ErrDeadlock when waiting can never
-// succeed per the paper's §3.3 detection rule. Caller holds db.mu; the lock
-// may be dropped while waiting.
+// succeed per the paper's §3.3 detection rule. Caller holds db.mu (write);
+// the lock is dropped while waiting in the memory-waiter FIFO.
 func (db *DB) reserveLocked(need int64, owner *unit) error {
 	if need <= 0 {
 		db.mem += need
@@ -203,7 +282,7 @@ func (db *DB) reserveLocked(need int64, owner *unit) error {
 		// generalizes the paper's execution model of one main thread plus
 		// one I/O thread to a pool of N workers (deadlockedLocked).
 		if db.deadlockedLocked(owner) {
-			db.stats.Deadlocks++
+			db.stats.deadlocks.Add(1)
 			if owner != nil {
 				owner.allocFailed = ErrDeadlock
 			}
@@ -218,22 +297,23 @@ func (db *DB) reserveLocked(need int64, owner *unit) error {
 		if owner != nil {
 			owner.memBlocked = true
 		}
+		ch := db.memWaitChLocked()
 		start := time.Now()
-		db.cond.Wait()
+		db.mu.Unlock()
+		<-ch
+		db.mu.Lock()
 		if owner != nil {
 			owner.memBlocked = false
 		}
 		if bgWorker {
 			db.ioBlocked--
-			db.workerStats[owner.worker].BlockedTime += time.Since(start)
+			db.workers[owner.worker].blockedNanos.Add(int64(time.Since(start)))
 		} else if owner != nil {
 			db.inlineBlocked--
 		}
 	}
 	db.mem += need
-	if db.mem > db.stats.PeakBytes {
-		db.stats.PeakBytes = db.mem
-	}
+	db.stats.observePeak(db.mem)
 	return nil
 }
 
@@ -338,17 +418,20 @@ func (db *DB) stuckWaiterLocked(owner *unit) bool {
 	return false
 }
 
-// releaseLocked returns n bytes to the memory budget and wakes blocked
-// reservers. Caller holds db.mu.
+// releaseLocked returns n bytes to the memory budget and wakes the
+// memory-waiter FIFO — and only it: unit-state waiters cannot use memory
+// and are not woken by memory traffic. Caller holds db.mu (write).
 func (db *DB) releaseLocked(n int64) {
 	db.mem -= n
 	if n > 0 {
-		db.cond.Broadcast()
+		db.wakeMemWaitersLocked()
 	}
 }
 
 // evictOneLocked evicts the least-recently-used finished unit, dropping all
-// of its records. It reports whether a unit was evicted. Caller holds db.mu.
+// of its records. It reports whether a unit was evicted. Blocked reservers
+// are woken by the memory release itself (releaseLocked, via
+// dropRecordLocked). Caller holds db.mu (write).
 func (db *DB) evictOneLocked() bool {
 	u := db.lru.popLRU()
 	if u == nil {
@@ -356,13 +439,12 @@ func (db *DB) evictOneLocked() bool {
 	}
 	db.recordEventLocked(u, u.state, stateEvicted)
 	db.dropUnitLocked(u)
-	db.stats.UnitsEvicted++
-	db.cond.Broadcast()
+	db.stats.unitsEvicted.Add(1)
 	return true
 }
 
 // dropUnitLocked removes a unit and all of its records from the database.
-// Caller holds db.mu.
+// Caller holds db.mu (write).
 func (db *DB) dropUnitLocked(u *unit) {
 	db.recordEventLocked(u, u.state, stateDeleted)
 	db.unqueueLocked(u)
@@ -373,14 +455,18 @@ func (db *DB) dropUnitLocked(u *unit) {
 	u.records = nil
 	u.memory = 0
 	u.state = stateDeleted
+	db.notifyUnitLocked(u)
 	delete(db.units, u.name)
+	// Dropping a unit can change the §3.3 verdict without releasing a byte —
+	// deleting a pending unit shrinks the queue behind progressLocked's
+	// idle-workers-with-queued-units clause — so blocked reservers must
+	// re-run the detector even when releaseLocked had nothing to wake.
+	db.wakeMemWaitersLocked()
 }
 
-// GetRecord returns the committed record of the given type identified by the
-// key values, in key-field insertion order.
-func (db *DB) GetRecord(recType string, keys ...any) (*Record, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// getRecordRLocked answers a key-lookup query. Caller holds db.mu (read or
+// write side).
+func (db *DB) getRecordRLocked(recType string, keys []any) (*Record, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
@@ -391,15 +477,42 @@ func (db *DB) GetRecord(recType string, keys ...any) (*Record, error) {
 	if !rt.committed {
 		return nil, fmt.Errorf("%w: record type %q", ErrNotCommitted, recType)
 	}
-	key, err := rt.keyForValues(keys)
+	kp := keyScratch.Get().(*[]byte)
+	key, err := rt.appendKeyForValues((*kp)[:0], keys)
 	if err != nil {
+		keyScratch.Put(kp)
 		return nil, err
 	}
-	r, ok := db.indexFor(recType).Get(key)
+	idx, found := db.indexes[recType]
+	var r *Record
+	if found {
+		r, ok = idx.Get(key)
+	} else {
+		r, ok = nil, false
+	}
+	*kp = key
+	keyScratch.Put(kp)
 	if !ok {
 		return nil, fmt.Errorf("%w: record type %q", ErrNotFound, recType)
 	}
 	return r, nil
+}
+
+// keyScratch pools composite-key scratch buffers for the query path, so a
+// fixed-size key lookup performs no allocation (see BenchmarkKeyLookup).
+// Keys built here are only compared against the index, never retained.
+var keyScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+// GetRecord returns the committed record of the given type identified by the
+// key values, in key-field insertion order.
+func (db *DB) GetRecord(recType string, keys ...any) (*Record, error) {
+	db.mu.RLock()
+	r, err := db.getRecordRLocked(recType, keys)
+	db.mu.RUnlock()
+	return r, err
 }
 
 // GetFieldBuffer answers the paper's key-lookup query: it returns the data
@@ -407,7 +520,9 @@ func (db *DB) GetRecord(recType string, keys ...any) (*Record, error) {
 // the key values. The visualization code then accesses the buffer directly,
 // as if it were a user-allocated array.
 func (db *DB) GetFieldBuffer(recType, field string, keys ...any) (*Buffer, error) {
-	r, err := db.GetRecord(recType, keys...)
+	db.mu.RLock()
+	r, err := db.getRecordRLocked(recType, keys)
+	db.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -425,25 +540,44 @@ func (db *DB) GetFieldBufferSize(recType, field string, keys ...any) (int, error
 }
 
 // CountRecords returns the number of committed records of a record type.
-func (db *DB) CountRecords(recType string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// Like the other queries it returns ErrClosed on a closed database and
+// ErrUnknownRecordType for a type that was never defined (earlier versions
+// silently returned 0 for both).
+func (db *DB) CountRecords(recType string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	if _, ok := db.recordTypes[recType]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownRecordType, recType)
+	}
 	idx, ok := db.indexes[recType]
 	if !ok {
-		return 0
+		return 0, nil
 	}
-	return idx.Len()
+	return idx.Len(), nil
 }
 
 // EachRecord calls fn for every committed record of a record type in
-// ascending key order until fn returns false. fn runs with the database
-// lock held and must not call back into the database.
-func (db *DB) EachRecord(recType string, fn func(r *Record) bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// ascending key order until fn returns false. Like the other queries it
+// returns ErrClosed on a closed database and ErrUnknownRecordType for a
+// type that was never defined (earlier versions silently did nothing for
+// both). fn runs with the database read lock held and must not call back
+// into the database.
+func (db *DB) EachRecord(recType string, fn func(r *Record) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, ok := db.recordTypes[recType]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRecordType, recType)
+	}
 	idx, ok := db.indexes[recType]
 	if !ok {
-		return
+		return nil
 	}
 	idx.Ascend(func(_ []byte, r *Record) bool { return fn(r) })
+	return nil
 }

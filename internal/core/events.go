@@ -40,8 +40,8 @@ func (db *DB) recordEventLocked(u *unit, from, to unitState) {
 // UnitEvents returns a copy of the recorded unit state transitions, oldest
 // first. Empty unless Options.TraceUnits was set.
 func (db *DB) UnitEvents() []UnitEvent {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]UnitEvent, len(db.events))
 	copy(out, db.events)
 	return out

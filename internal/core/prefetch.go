@@ -22,13 +22,13 @@ func (db *DB) AddUnit(name string, read ReadFunc) error {
 		case statePending, stateReading:
 			return nil
 		case stateReady:
-			db.stats.CacheHits++
+			db.stats.cacheHits.Add(1)
 			return nil
 		case stateFinished:
 			// Still cached: refresh its recency so it survives until used.
 			db.lru.remove(u)
 			db.lru.pushMRU(u)
-			db.stats.CacheHits++
+			db.stats.cacheHits.Add(1)
 			return nil
 		case stateFailed:
 			db.recordEventLocked(u, stateFailed, statePending)
@@ -38,8 +38,8 @@ func (db *DB) AddUnit(name string, read ReadFunc) error {
 			u.read = read
 			u.worker = -1
 			db.queue = append(db.queue, u)
-			db.stats.UnitsAdded++
-			db.cond.Broadcast()
+			db.stats.unitsAdded.Add(1)
+			db.signalWorkerLocked()
 			return nil
 		}
 	}
@@ -47,9 +47,25 @@ func (db *DB) AddUnit(name string, read ReadFunc) error {
 	db.units[name] = u
 	db.recordEventLocked(u, statePending, statePending)
 	db.queue = append(db.queue, u)
-	db.stats.UnitsAdded++
-	db.cond.Broadcast()
+	db.stats.unitsAdded.Add(1)
+	db.signalWorkerLocked()
 	return nil
+}
+
+// signalWorkerLocked wakes exactly one idle background I/O worker to
+// dispatch a just-enqueued unit. When no worker is idle the signal is
+// unnecessary: every busy worker re-checks the queue after its current read
+// completes. In single-thread mode (ioWorkers == 0) there is no worker to
+// wake and the enqueue alone is correct — WaitUnit will read the unit
+// inline — so this is an explicit no-op. Caller holds db.mu (write).
+func (db *DB) signalWorkerLocked() {
+	if db.ioWorkers == 0 || len(db.idleWorkers) == 0 {
+		return
+	}
+	ch := db.idleWorkers[0]
+	db.idleWorkers[0] = nil
+	db.idleWorkers = db.idleWorkers[1:]
+	close(ch)
 }
 
 // ReadUnit explicitly reads a unit into the database with a blocking call,
@@ -62,8 +78,8 @@ func (db *DB) ReadUnit(name string, read ReadFunc) error {
 	start := time.Now()
 	db.mu.Lock()
 	defer func() {
-		db.stats.VisibleWait += time.Since(start)
 		db.mu.Unlock()
+		db.stats.visibleWaitNanos.Add(int64(time.Since(start)))
 	}()
 	if db.closed {
 		return ErrClosed
@@ -73,7 +89,7 @@ func (db *DB) ReadUnit(name string, read ReadFunc) error {
 		u = &unit{name: name, state: statePending, read: read, worker: -1}
 		db.units[name] = u
 		db.recordEventLocked(u, statePending, statePending)
-		db.stats.UnitsAdded++
+		db.stats.unitsAdded.Add(1)
 	}
 	return db.acquireUnitLocked(u, true)
 }
@@ -86,8 +102,8 @@ func (db *DB) WaitUnit(name string) error {
 	start := time.Now()
 	db.mu.Lock()
 	defer func() {
-		db.stats.VisibleWait += time.Since(start)
 		db.mu.Unlock()
+		db.stats.visibleWaitNanos.Add(int64(time.Since(start)))
 	}()
 	if db.closed {
 		return ErrClosed
@@ -114,8 +130,7 @@ func (db *DB) acquireUnitLocked(u *unit, inline bool) error {
 				// would pin units forever in single-thread mode.
 				db.unqueueLocked(u)
 				u.worker = -1
-				db.recordEventLocked(u, statePending, stateReading)
-				u.state = stateReading
+				db.setStateLocked(u, stateReading)
 				u.inline = true
 				db.inlineReading++
 				db.mu.Unlock()
@@ -131,7 +146,7 @@ func (db *DB) acquireUnitLocked(u *unit, inline bool) error {
 		case stateReady:
 			u.refs++
 			if u.everAcquired {
-				db.stats.CacheHits++
+				db.stats.cacheHits.Add(1)
 			}
 			u.everAcquired = true
 			return nil
@@ -140,7 +155,7 @@ func (db *DB) acquireUnitLocked(u *unit, inline bool) error {
 			db.lru.remove(u)
 			u.state = stateReady
 			u.refs++
-			db.stats.CacheHits++
+			db.stats.cacheHits.Add(1)
 			return nil
 		case stateFailed:
 			return fmt.Errorf("%w: unit %q: %w", ErrUnitFailed, u.name, u.err)
@@ -154,20 +169,31 @@ func (db *DB) acquireUnitLocked(u *unit, inline bool) error {
 }
 
 // waitStateLocked blocks until u leaves its current state or the database
-// closes. It registers the caller as a waiter on u and wakes the I/O
-// goroutine first, so that a reader blocked on memory re-evaluates the
-// deadlock condition now that a consumer is provably stuck. Caller holds
-// db.mu.
+// closes. It registers the caller as a waiter on u and wakes the blocked
+// memory reservers once, so that a reader blocked on memory re-evaluates
+// the §3.3 deadlock condition now that a consumer is provably stuck (this
+// replaces the registration broadcast of the old condition-variable
+// scheme; the sleep itself uses the unit's targeted wait channel). Caller
+// holds db.mu; the lock is dropped while sleeping.
 func (db *DB) waitStateLocked(u *unit) {
 	state := u.state
-	if u.state == state && !db.closed {
-		u.waiters++
-		db.cond.Broadcast() // one wake-up per registration, not per loop turn
-		for u.state == state && !db.closed {
-			db.cond.Wait()
-		}
-		u.waiters--
+	if u.state != state || db.closed {
+		return
 	}
+	u.waiters++
+	// One wake-up per registration, not per loop turn — and only of the
+	// memory waiters, who are the ones whose deadlock verdict can change.
+	db.wakeMemWaitersLocked()
+	for u.state == state && !db.closed {
+		if u.stateCh == nil {
+			u.stateCh = make(chan struct{})
+		}
+		ch := u.stateCh
+		db.mu.Unlock()
+		<-ch
+		db.mu.Lock()
+	}
+	u.waiters--
 }
 
 // runRead executes a unit's read function outside the lock and finalizes the
@@ -177,9 +203,9 @@ func (db *DB) waitStateLocked(u *unit) {
 func (db *DB) runRead(u *unit) bool {
 	start := time.Now()
 	err := u.read(&Unit{db: db, u: u})
+	db.stats.readTimeNanos.Add(int64(time.Since(start)))
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.stats.ReadTime += time.Since(start)
 	if err == nil {
 		err = u.allocFailed
 	}
@@ -190,23 +216,26 @@ func (db *DB) runRead(u *unit) bool {
 		}
 		u.records = nil
 		u.memory = 0
+		db.notifyUnitLocked(u)
 	} else if err != nil {
 		for _, r := range u.records {
 			db.dropRecordLocked(r)
 		}
 		u.records = nil
 		u.memory = 0
-		db.recordEventLocked(u, stateReading, stateFailed)
-		u.state = stateFailed
 		u.err = err
-		db.stats.UnitsFailed++
+		db.setStateLocked(u, stateFailed)
+		db.stats.unitsFailed.Add(1)
 	} else {
-		db.recordEventLocked(u, stateReading, stateReady)
-		u.state = stateReady
-		db.stats.UnitsRead++
-		db.stats.BytesLoaded += u.memory
+		db.setStateLocked(u, stateReady)
+		db.stats.unitsRead.Add(1)
+		db.stats.bytesLoaded.Add(u.memory)
 	}
-	db.cond.Broadcast()
+	// A read ending removes a progressing reader, which can flip the §3.3
+	// verdict for allocations that chose to wait because this read was still
+	// running (progressLocked): wake them to re-run the detector. A
+	// successful read frees no memory, so releaseLocked cannot cover this.
+	db.wakeMemWaitersLocked()
 	return u.state == stateReady
 }
 
@@ -230,10 +259,11 @@ func (db *DB) FinishUnit(name string) error {
 			u.refs--
 		}
 		if u.refs == 0 {
-			db.recordEventLocked(u, stateReady, stateFinished)
-			u.state = stateFinished
+			db.setStateLocked(u, stateFinished)
 			db.lru.pushMRU(u)
-			db.cond.Broadcast()
+			// The unit just became evictable: blocked memory reservers may
+			// now succeed by evicting it, so they must re-check.
+			db.wakeMemWaitersLocked()
 		}
 		return nil
 	case stateFinished:
@@ -267,8 +297,7 @@ func (db *DB) DeleteUnit(name string) error {
 		return nil // someone else deleted it while we waited
 	}
 	db.dropUnitLocked(u)
-	db.stats.UnitsDeleted++
-	db.cond.Broadcast()
+	db.stats.unitsDeleted.Add(1)
 	return nil
 }
 
@@ -276,8 +305,8 @@ func (db *DB) DeleteUnit(name string) error {
 // ok is false if the unit is unknown (never added, or already deleted or
 // evicted).
 func (db *DB) UnitState(name string) (state string, ok bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	u, found := db.units[name]
 	if !found {
 		return "", false
@@ -290,13 +319,19 @@ func (db *DB) UnitState(name string) (state string, ok bool) {
 // the prefetch FIFO — dispatch is in AddUnit order because every pop takes
 // the head under db.mu — and reads them through their read functions,
 // blocking (inside reserveLocked) when the database is out of memory, until
-// the database is closed.
+// the database is closed. An idle worker sleeps on its own entry in the
+// idle-worker FIFO and is woken by AddUnit (one worker per enqueued unit)
+// or Close; unit state changes and memory traffic never wake it.
 func (db *DB) ioLoop(id int) {
 	defer db.ioWg.Done()
 	for {
 		db.mu.Lock()
 		for !db.closed && len(db.queue) == 0 {
-			db.cond.Wait()
+			ch := make(chan struct{})
+			db.idleWorkers = append(db.idleWorkers, ch)
+			db.mu.Unlock()
+			<-ch
+			db.mu.Lock()
 		}
 		if db.closed {
 			db.mu.Unlock()
@@ -312,28 +347,28 @@ func (db *DB) ioLoop(id int) {
 			continue
 		}
 		u.worker = id
-		db.recordEventLocked(u, statePending, stateReading)
-		u.state = stateReading
+		db.setStateLocked(u, stateReading)
 		db.ioReading++
-		db.workerStats[id].Reading = true
-		db.workerStats[id].Unit = u.name
+		ws := &db.workers[id]
+		ws.reading.Store(true)
+		ws.unit = u.name
 		db.mu.Unlock()
 		ok := db.runRead(u)
 		db.mu.Lock()
 		db.ioReading--
-		ws := &db.workerStats[id]
-		ws.Reading = false
-		ws.Unit = ""
+		ws.reading.Store(false)
+		ws.unit = ""
+		failed := u.state == stateFailed
+		db.mu.Unlock()
 		if ok {
 			// Only successful background reads count: UnitsPrefetched must
 			// stay a subset of UnitsRead even when the read fails or the
 			// unit is deleted mid-read.
-			db.stats.UnitsPrefetched++
-			ws.Prefetched++
-		} else if u.state == stateFailed {
-			ws.Failed++
+			db.stats.unitsPrefetched.Add(1)
+			ws.prefetched.Add(1)
+		} else if failed {
+			ws.failed.Add(1)
 		}
-		db.mu.Unlock()
 	}
 }
 

@@ -191,7 +191,7 @@ func (db *DB) CommitRecord(r *Record) error {
 	idx.Set(key, r)
 	r.key = key
 	r.commit = true
-	db.stats.RecordsCommitted++
+	db.stats.recordsCommitted.Add(1)
 	return nil
 }
 

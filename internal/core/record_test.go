@@ -161,12 +161,12 @@ func TestCommitCollisionReplaces(t *testing.T) {
 	defineFluidSchema(t, db)
 	r1 := makeFluidRecord(t, db, "block_0001$", "0.000025$")
 	_ = r1
-	if n := db.CountRecords("fluid"); n != 1 {
-		t.Fatalf("CountRecords = %d, want 1", n)
+	if n, err := db.CountRecords("fluid"); err != nil || n != 1 {
+		t.Fatalf("CountRecords = %d, %v, want 1", n, err)
 	}
 	makeFluidRecord(t, db, "block_0001$", "0.000025$")
-	if n := db.CountRecords("fluid"); n != 1 {
-		t.Fatalf("after colliding commit CountRecords = %d, want 1", n)
+	if n, err := db.CountRecords("fluid"); err != nil || n != 1 {
+		t.Fatalf("after colliding commit CountRecords = %d, %v, want 1", n, err)
 	}
 }
 
@@ -181,8 +181,8 @@ func TestDeleteRecord(t *testing.T) {
 	if err := db.DeleteRecord(r); err != nil {
 		t.Fatal(err)
 	}
-	if n := db.CountRecords("fluid"); n != 0 {
-		t.Fatalf("CountRecords = %d after delete", n)
+	if n, err := db.CountRecords("fluid"); err != nil || n != 0 {
+		t.Fatalf("CountRecords = %d, %v after delete", n, err)
 	}
 	if db.MemUsed() != 0 {
 		t.Fatalf("MemUsed() = %d after delete, want 0", db.MemUsed())
@@ -387,12 +387,15 @@ func TestEachRecordOrderAndCount(t *testing.T) {
 		makeFluidRecord(t, db, id, "0.000025$")
 	}
 	var ids []string
-	db.EachRecord("fluid", func(r *Record) bool {
+	err := db.EachRecord("fluid", func(r *Record) bool {
 		buf, _ := r.FieldBuffer("block id")
 		s, _ := buf.StringValue()
 		ids = append(ids, s)
 		return true
 	})
+	if err != nil {
+		t.Fatalf("EachRecord: %v", err)
+	}
 	if len(ids) != 3 {
 		t.Fatalf("visited %d records, want 3", len(ids))
 	}

@@ -139,8 +139,8 @@ func (db *DB) CommitRecordType(recType string) error {
 // insertion order. It exists so that generic tools (and tests) can walk a
 // schema without private access.
 func (db *DB) RecordTypeFields(recType string) ([]string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	rt, ok := db.recordTypes[recType]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRecordType, recType)
@@ -167,19 +167,21 @@ func (rt *recordType) keyFor(r *Record) ([]byte, error) {
 	return key, nil
 }
 
-// keyForValues builds a composite index key from query-supplied key values,
-// which must match the key fields in number and type.
-func (rt *recordType) keyForValues(values []any) ([]byte, error) {
+// appendKeyForValues builds a composite index key from query-supplied key
+// values, which must match the key fields in number and type, appending to
+// dst. The query path passes a pooled scratch buffer (keyScratch) so a
+// fixed-size key lookup performs no allocation.
+func (rt *recordType) appendKeyForValues(dst []byte, values []any) ([]byte, error) {
 	if len(values) != rt.numKeys {
-		return nil, fmt.Errorf("%w: got %d key values for record type %q (want %d)",
+		return dst, fmt.Errorf("%w: got %d key values for record type %q (want %d)",
 			ErrKeyCount, len(values), rt.name, rt.numKeys)
 	}
-	key := make([]byte, 0, 32)
+	key := dst
 	var err error
 	for i, kf := range rt.keys {
 		key, err = encodeKeyValue(key, kf.dtype, kf.size, values[i])
 		if err != nil {
-			return nil, fmt.Errorf("key field %q: %w", kf.name, err)
+			return dst, fmt.Errorf("key field %q: %w", kf.name, err)
 		}
 	}
 	return key, nil

@@ -1,6 +1,9 @@
 package core
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Stats is a snapshot of the database's operation counters. Times are wall
 // times; VisibleWait is the cumulative time callers spent blocked in
@@ -23,11 +26,72 @@ type Stats struct {
 	ReadTime         time.Duration
 }
 
-// Stats returns a snapshot of the database counters.
+// statsCounters holds the database operation counters as atomics, so stat
+// bumps on the unit and query paths never take db.mu and Stats snapshots
+// never serialize against it. Each field mirrors the Stats field of the
+// same name; durations are stored as nanoseconds.
+type statsCounters struct {
+	recordsCommitted atomic.Int64
+	unitsAdded       atomic.Int64
+	unitsRead        atomic.Int64
+	unitsPrefetched  atomic.Int64
+	unitsFailed      atomic.Int64
+	unitsDeleted     atomic.Int64
+	unitsEvicted     atomic.Int64
+	cacheHits        atomic.Int64
+	deadlocks        atomic.Int64
+	bytesLoaded      atomic.Int64
+	peakBytes        atomic.Int64
+	visibleWaitNanos atomic.Int64
+	readTimeNanos    atomic.Int64
+}
+
+// observePeak raises peakBytes to mem if mem is a new high-water mark,
+// via a compare-and-swap maximum so concurrent observers never regress it.
+func (c *statsCounters) observePeak(mem int64) {
+	for {
+		cur := c.peakBytes.Load()
+		if mem <= cur || c.peakBytes.CompareAndSwap(cur, mem) {
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the database counters. The snapshot is built
+// from atomic loads and does not take the database lock; counters bumped
+// concurrently may or may not be included. Dependent counters are loaded
+// downstream-first (a unit is counted in UnitsAdded before UnitsRead before
+// UnitsPrefetched), so cross-counter invariants like UnitsPrefetched <=
+// UnitsRead <= UnitsAdded hold in every snapshot even while counters move.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.stats
+	c := &db.stats
+	var s Stats
+	s.UnitsPrefetched = c.unitsPrefetched.Load()
+	s.UnitsRead = c.unitsRead.Load()
+	s.UnitsFailed = c.unitsFailed.Load()
+	s.UnitsDeleted = c.unitsDeleted.Load()
+	s.UnitsEvicted = c.unitsEvicted.Load()
+	s.UnitsAdded = c.unitsAdded.Load()
+	s.RecordsCommitted = c.recordsCommitted.Load()
+	s.CacheHits = c.cacheHits.Load()
+	s.Deadlocks = c.deadlocks.Load()
+	s.BytesLoaded = c.bytesLoaded.Load()
+	s.PeakBytes = c.peakBytes.Load()
+	s.VisibleWait = time.Duration(c.visibleWaitNanos.Load())
+	s.ReadTime = time.Duration(c.readTimeNanos.Load())
+	return s
+}
+
+// workerState is the per-worker mutable state of one background I/O worker.
+// The counters are atomic so workers bump them without the database lock;
+// unit (the name being read) is guarded by db.mu because it is only
+// meaningful together with reading.
+type workerState struct {
+	prefetched   atomic.Int64
+	failed       atomic.Int64
+	blockedNanos atomic.Int64
+	reading      atomic.Bool
+	unit         string // guarded by db.mu
 }
 
 // IOWorkerStats describes one worker of the background I/O pool
@@ -44,10 +108,20 @@ type IOWorkerStats struct {
 // IOWorkerStats returns a snapshot of the per-worker counters, one entry per
 // background I/O worker in worker order; empty in single-thread mode.
 func (db *DB) IOWorkerStats() []IOWorkerStats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	out := make([]IOWorkerStats, len(db.workerStats))
-	copy(out, db.workerStats)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]IOWorkerStats, len(db.workers))
+	for i := range db.workers {
+		w := &db.workers[i]
+		out[i] = IOWorkerStats{
+			Worker:      i,
+			Prefetched:  w.prefetched.Load(),
+			Failed:      w.failed.Load(),
+			Reading:     w.reading.Load(),
+			Unit:        w.unit,
+			BlockedTime: time.Duration(w.blockedNanos.Load()),
+		}
+	}
 	return out
 }
 
@@ -69,12 +143,12 @@ func (db *DB) RegisterStatsSource(name string, fn func() any) {
 // ExternalStats snapshots every registered external stats source by name.
 // The providers run outside the database lock.
 func (db *DB) ExternalStats() map[string]any {
-	db.mu.Lock()
+	db.mu.RLock()
 	fns := make(map[string]func() any, len(db.statsSources))
 	for name, fn := range db.statsSources {
 		fns[name] = fn
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	out := make(map[string]any, len(fns))
 	for name, fn := range fns {
 		out[name] = fn()

@@ -77,6 +77,13 @@ type unit struct {
 	// waiters even if the read function swallows the allocation error.
 	allocFailed error
 
+	// stateCh is this unit's wait channel: lazily created by the first
+	// waiter needing to sleep, closed and reset to nil on every state
+	// transition (notifyUnitLocked), so a wait observes exactly "the state
+	// changed since I looked". Only waiters on this unit are woken — state
+	// changes never disturb other units' waiters or memory waiters.
+	stateCh chan struct{}
+
 	// Intrusive LRU list links; non-nil membership means the unit is in the
 	// evictable list (stateFinished, refs == 0).
 	lruPrev, lruNext *unit

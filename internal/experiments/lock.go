@@ -1,0 +1,442 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godiva/internal/core"
+	"godiva/internal/genx"
+	"godiva/internal/remote"
+)
+
+// The lock sweep measures the decomposed-lock concurrency of the database
+// (readers-writer query path, targeted wakeups, atomic stats): N reader
+// goroutines issue key-lookup queries against resident records while a
+// background I/O pool churns processing units through add → wait → finish →
+// delete, for a fixed duration, across readers × IOWorkers × GOMAXPROCS.
+// Local cells churn synthetic in-memory units; remote cells pull the same
+// churn through godivad on the loopback interface, putting real transport
+// concurrency behind the read functions. Query throughput is the headline
+// number: before the decomposition it was capped by the global mutex no
+// matter how many readers ran.
+
+// LockSweepConfig configures the lock sweep. Zero fields take the defaults
+// noted on each field.
+type LockSweepConfig struct {
+	Dir         string        // dataset directory for remote cells (generated if incomplete)
+	Spec        genx.Spec     // dataset spec for remote cells (default genx.Scaled(8))
+	Readers     []int         // query goroutine counts (default 1, 2, 4, 8)
+	Workers     []int         // churn pool sizes (default 1, 4)
+	Procs       []int         // GOMAXPROCS values (default 1 and the current setting, deduplicated)
+	Duration    time.Duration // measured run per cell (default 250ms)
+	Records     int           // resident records the readers query (default 256)
+	UnitBytes   int           // payload size of a local churn unit (default 64 KB)
+	MemoryLimit int64         // database memory cap (default 256 MB)
+	Remote      bool          // also run remote-churn cells against godivad
+	Log         func(format string, args ...any)
+}
+
+func (cfg *LockSweepConfig) setDefaults() {
+	if cfg.Spec.Blocks == 0 {
+		cfg.Spec = genx.Scaled(8)
+	}
+	if len(cfg.Readers) == 0 {
+		cfg.Readers = []int{1, 2, 4, 8}
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4}
+	}
+	if len(cfg.Procs) == 0 {
+		cur := runtime.GOMAXPROCS(0)
+		cfg.Procs = []int{1}
+		if cur != 1 {
+			cfg.Procs = append(cfg.Procs, cur)
+		}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 250 * time.Millisecond
+	}
+	if cfg.Records == 0 {
+		cfg.Records = 256
+	}
+	if cfg.UnitBytes == 0 {
+		cfg.UnitBytes = 64 << 10
+	}
+	if cfg.MemoryLimit == 0 {
+		cfg.MemoryLimit = 256 << 20
+	}
+}
+
+func (cfg *LockSweepConfig) logf(format string, args ...any) {
+	if cfg.Log != nil {
+		cfg.Log(format, args...)
+	}
+}
+
+// LockCell reports one (mode, readers, workers, GOMAXPROCS) run.
+type LockCell struct {
+	Mode        string // "local" or "remote"
+	Readers     int    // concurrent query goroutines
+	Workers     int    // churn pool size (Options.IOWorkers)
+	Procs       int    // GOMAXPROCS during the run
+	Duration    time.Duration
+	Queries     int64         // key-lookup queries completed
+	QueriesPS   float64       // queries per second across all readers
+	UnitCycles  int64         // add→wait→finish→delete unit cycles completed
+	UnitsPS     float64       // unit cycles per second
+	VisibleWait time.Duration // churn time blocked in WaitUnit
+}
+
+// defineLockQuerySchema defines the record type the reader goroutines query:
+// one 16-byte string key and a 1 KB payload, the shape of a renderer
+// looking up one field buffer per cell.
+func defineLockQuerySchema(db *core.DB) error {
+	if err := db.DefineField("qcell", core.String, 16); err != nil {
+		return err
+	}
+	if err := db.DefineField("qdata", core.Float64, 1024); err != nil {
+		return err
+	}
+	if err := db.DefineRecordType("qgrid", 1); err != nil {
+		return err
+	}
+	if err := db.InsertField("qgrid", "qcell", true); err != nil {
+		return err
+	}
+	if err := db.InsertField("qgrid", "qdata", false); err != nil {
+		return err
+	}
+	return db.CommitRecordType("qgrid")
+}
+
+// populateLockQueryRecords commits n resident records of the query schema
+// and returns the pre-boxed key slices the readers use to look them up.
+func populateLockQueryRecords(db *core.DB, n int) ([][]any, error) {
+	keys := make([][]any, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("cell_%06d", i)
+		r, err := db.NewRecord("qgrid")
+		if err != nil {
+			return nil, err
+		}
+		if err := r.SetString("qcell", name); err != nil {
+			return nil, err
+		}
+		if err := db.CommitRecord(r); err != nil {
+			return nil, err
+		}
+		keys[i] = []any{name}
+	}
+	return keys, nil
+}
+
+// lockChurn describes how a cell's churn pipelines produce units: a schema
+// installer, a read function, and a naming scheme (pipeline p, iteration i).
+// Local churn names are disjoint per pipeline; remote churn names must be
+// parseable snapshot names, so pipelines share them and tolerate racing on
+// the same unit.
+type lockChurn struct {
+	define  func(db *core.DB) error
+	read    core.ReadFunc
+	nameFor func(p, i int) string
+}
+
+// localLockChurn builds the synthetic in-memory churn: each unit commits one
+// record with a payload of cfg.UnitBytes, so unit cost is pure database
+// machinery (allocation, commit, wakeups) with no file I/O behind it.
+func localLockChurn(cfg LockSweepConfig) lockChurn {
+	return lockChurn{
+		define: func(db *core.DB) error {
+			if err := db.DefineField("cname", core.String, 16); err != nil {
+				return err
+			}
+			if err := db.DefineField("cpayload", core.Bytes, core.Unknown); err != nil {
+				return err
+			}
+			if err := db.DefineRecordType("cunit", 1); err != nil {
+				return err
+			}
+			if err := db.InsertField("cunit", "cname", true); err != nil {
+				return err
+			}
+			if err := db.InsertField("cunit", "cpayload", false); err != nil {
+				return err
+			}
+			return db.CommitRecordType("cunit")
+		},
+		read: func(u *core.Unit) error {
+			r, err := u.NewRecord("cunit")
+			if err != nil {
+				return err
+			}
+			if err := r.SetString("cname", u.Name()); err != nil {
+				return err
+			}
+			if _, err := r.AllocFieldBuffer("cpayload", cfg.UnitBytes); err != nil {
+				return err
+			}
+			return u.DB().CommitRecord(r)
+		},
+		nameFor: func(p, i int) string { return fmt.Sprintf("churn_p%d_%02d", p, i%4) },
+	}
+}
+
+// remoteLockChurn builds the remote churn: units are GENx snapshots fetched
+// from a godivad server through the fault-tolerant client, committed with
+// the remote sweep's schema. Deleting each unit after use forces a real
+// fetch per cycle.
+func remoteLockChurn(cfg LockSweepConfig, client *remote.Client) lockChurn {
+	nsnap := cfg.Spec.Snapshots
+	if nsnap > 4 {
+		nsnap = 4 // a few distinct snapshots are enough churn variety
+	}
+	resolve := func(unit string) ([]string, error) {
+		var step int
+		if n, _ := fmt.Sscanf(unit, "snap_%d", &step); n != 1 {
+			return nil, fmt.Errorf("experiments: bad unit name %q", unit)
+		}
+		return cfg.Spec.SnapshotFiles("", step), nil
+	}
+	return lockChurn{
+		define:  defineRemoteSchema,
+		read:    remote.NewReadFunc(client, resolve, remoteSweepVars(), commitRemoteBlock),
+		nameFor: func(p, i int) string { return fmt.Sprintf("snap_%04d", (p+i)%nsnap) },
+	}
+}
+
+// runLockCell runs one cell: readers query for cfg.Duration while the churn
+// pipelines cycle units through the pool. GOMAXPROCS is set for the run and
+// restored after.
+func runLockCell(cfg LockSweepConfig, mode string, readers, workers, procs int, churn lockChurn) (*LockCell, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	db := core.Open(core.Options{
+		MemoryLimit:  cfg.MemoryLimit,
+		BackgroundIO: true,
+		IOWorkers:    workers,
+	})
+	defer db.Close()
+	if err := defineLockQuerySchema(db); err != nil {
+		return nil, err
+	}
+	if err := churn.define(db); err != nil {
+		return nil, err
+	}
+	keys, err := populateLockQueryRecords(db, cfg.Records)
+	if err != nil {
+		return nil, err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries, cycles atomic.Int64
+	errc := make(chan error, readers+workers)
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := int64(0)
+			for i := g; ; i++ {
+				select {
+				case <-stop:
+					queries.Add(n)
+					return
+				default:
+				}
+				if _, err := db.GetFieldBuffer("qgrid", "qdata", keys[i%len(keys)]...); err != nil {
+					errc <- fmt.Errorf("query: %w", err)
+					return
+				}
+				n++
+			}
+		}(g)
+	}
+	// One churn pipeline per worker keeps the pool busy without queue
+	// build-up: each pipeline cycles its own unit names.
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			n := int64(0)
+			for i := p; ; i++ {
+				select {
+				case <-stop:
+					cycles.Add(n)
+					return
+				default:
+				}
+				name := churn.nameFor(p, i)
+				if err := db.AddUnit(name, churn.read); err != nil {
+					errc <- fmt.Errorf("add %s: %w", name, err)
+					return
+				}
+				// Pipelines sharing names (remote churn) may delete a unit
+				// another pipeline is mid-cycle on; ErrUnknownUnit is that
+				// race, not a failure.
+				if err := db.WaitUnit(name); err != nil {
+					if errors.Is(err, core.ErrUnknownUnit) {
+						continue
+					}
+					errc <- fmt.Errorf("wait %s: %w", name, err)
+					return
+				}
+				// Finish can also race a shared-name re-add (the unit is back
+				// to pending under another pipeline); any finish error is one
+				// of those races and the delete below resolves the unit.
+				_ = db.FinishUnit(name)
+				if err := db.DeleteUnit(name); err != nil && !errors.Is(err, core.ErrUnknownUnit) {
+					errc <- fmt.Errorf("delete %s: %w", name, err)
+					return
+				}
+				n++
+			}
+		}(p)
+	}
+
+	start := time.Now()
+	select {
+	case err := <-errc:
+		close(stop)
+		wg.Wait()
+		return nil, fmt.Errorf("lock cell %s r=%d w=%d p=%d: %w", mode, readers, workers, procs, err)
+	case <-time.After(cfg.Duration):
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return nil, fmt.Errorf("lock cell %s r=%d w=%d p=%d: %w", mode, readers, workers, procs, err)
+	default:
+	}
+
+	s := db.Stats()
+	cell := &LockCell{
+		Mode:        mode,
+		Readers:     readers,
+		Workers:     workers,
+		Procs:       procs,
+		Duration:    elapsed,
+		Queries:     queries.Load(),
+		UnitCycles:  cycles.Load(),
+		VisibleWait: s.VisibleWait,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		cell.QueriesPS = float64(cell.Queries) / sec
+		cell.UnitsPS = float64(cell.UnitCycles) / sec
+	}
+	return cell, nil
+}
+
+// RunLockSweep runs every (readers, workers, procs) combination with local
+// churn and, when cfg.Remote is set, again with remote churn against a
+// godivad server on the loopback interface. Rows come back local-first,
+// ordered by procs, then workers, then readers.
+func RunLockSweep(cfg LockSweepConfig) ([]*LockCell, error) {
+	cfg.setDefaults()
+	var cells []*LockCell
+	for _, procs := range cfg.Procs {
+		for _, workers := range cfg.Workers {
+			for _, readers := range cfg.Readers {
+				cfg.logf("lock sweep: local, readers=%d workers=%d procs=%d…", readers, workers, procs)
+				cell, err := runLockCell(cfg, "local", readers, workers, procs, localLockChurn(cfg))
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	if !cfg.Remote {
+		return cells, nil
+	}
+	setup := &Setup{Spec: cfg.Spec, Dir: cfg.Dir, Log: cfg.Log}
+	if err := EnsureDataset(setup); err != nil {
+		return nil, err
+	}
+	srv, err := remote.Serve(remote.ServerOptions{Dir: cfg.Dir})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	for _, procs := range cfg.Procs {
+		for _, workers := range cfg.Workers {
+			for _, readers := range cfg.Readers {
+				cfg.logf("lock sweep: remote, readers=%d workers=%d procs=%d…", readers, workers, procs)
+				client := remote.NewClient(remote.ClientOptions{Addr: srv.Addr(), PoolSize: workers})
+				cell, err := runLockCell(cfg, "remote", readers, workers, procs, remoteLockChurn(cfg, client))
+				client.Close()
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// PrintLockSweep writes the lock sweep table.
+func PrintLockSweep(w io.Writer, cells []*LockCell) {
+	fmt.Fprintf(w, "\nQuery throughput under concurrent unit churn (decomposed lock):\n")
+	fmt.Fprintf(w, "%7s %8s %8s %6s %12s %12s %12s\n",
+		"mode", "readers", "workers", "procs", "queries/s", "units/s", "wait (ms)")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%7s %8d %8d %6d %12.0f %12.1f %12.1f\n",
+			c.Mode, c.Readers, c.Workers, c.Procs,
+			c.QueriesPS, c.UnitsPS,
+			float64(c.VisibleWait.Microseconds())/1e3)
+	}
+}
+
+// lockCellJSON is the machine-readable form of a LockCell: durations in
+// milliseconds, rates per second.
+type lockCellJSON struct {
+	Mode          string  `json:"mode"`
+	Readers       int     `json:"readers"`
+	Workers       int     `json:"workers"`
+	Procs         int     `json:"procs"`
+	DurationMS    float64 `json:"duration_ms"`
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	UnitCycles    int64   `json:"unit_cycles"`
+	UnitsPerSec   float64 `json:"units_per_sec"`
+	VisibleWaitMS float64 `json:"visible_wait_ms"`
+}
+
+// WriteLockJSON writes the sweep's cells as a JSON document (the bench's
+// BENCH_lock.json artifact).
+func WriteLockJSON(path string, cells []*LockCell) error {
+	out := struct {
+		Experiment string         `json:"experiment"`
+		Cells      []lockCellJSON `json:"cells"`
+	}{Experiment: "lock-sweep"}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, lockCellJSON{
+			Mode:          c.Mode,
+			Readers:       c.Readers,
+			Workers:       c.Workers,
+			Procs:         c.Procs,
+			DurationMS:    float64(c.Duration.Microseconds()) / 1e3,
+			Queries:       c.Queries,
+			QueriesPerSec: c.QueriesPS,
+			UnitCycles:    c.UnitCycles,
+			UnitsPerSec:   c.UnitsPS,
+			VisibleWaitMS: float64(c.VisibleWait.Microseconds()) / 1e3,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

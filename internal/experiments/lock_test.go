@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"godiva/internal/genx"
+)
+
+// The lock sweep must produce one cell per (mode, readers, workers, procs)
+// combination, make progress on both the query and the churn side of every
+// cell, and serialize to the bench's JSON artifact.
+func TestLockSweep(t *testing.T) {
+	dir := t.TempDir()
+	cfg := LockSweepConfig{
+		Dir:      filepath.Join(dir, "data"),
+		Spec:     genx.Scaled(8),
+		Readers:  []int{1, 2},
+		Workers:  []int{1},
+		Procs:    []int{1},
+		Duration: 60 * time.Millisecond,
+		Records:  32,
+		Remote:   true,
+	}
+	cells, err := RunLockSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (2 readers x 1 worker x 1 procs x 2 modes)", len(cells))
+	}
+	var local, rem int
+	for _, c := range cells {
+		switch c.Mode {
+		case "local":
+			local++
+		case "remote":
+			rem++
+		default:
+			t.Fatalf("unknown mode %q", c.Mode)
+		}
+		if c.Queries == 0 {
+			t.Errorf("%s r=%d w=%d: no queries completed", c.Mode, c.Readers, c.Workers)
+		}
+		if c.UnitCycles == 0 {
+			t.Errorf("%s r=%d w=%d: no unit cycles completed", c.Mode, c.Readers, c.Workers)
+		}
+		if c.QueriesPS <= 0 {
+			t.Errorf("%s r=%d w=%d: QueriesPS = %f", c.Mode, c.Readers, c.Workers, c.QueriesPS)
+		}
+	}
+	if local != 2 || rem != 2 {
+		t.Fatalf("got %d local + %d remote cells, want 2+2", local, rem)
+	}
+
+	path := filepath.Join(dir, "BENCH_lock.json")
+	if err := WriteLockJSON(path, cells); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Cells      []struct {
+			Mode    string `json:"mode"`
+			Readers int    `json:"readers"`
+			Procs   int    `json:"procs"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_lock.json does not parse: %v", err)
+	}
+	if doc.Experiment != "lock-sweep" || len(doc.Cells) != 4 {
+		t.Fatalf("JSON artifact: experiment=%q, %d cells", doc.Experiment, len(doc.Cells))
+	}
+}
