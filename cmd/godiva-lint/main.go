@@ -1,0 +1,103 @@
+// Command godiva-lint runs the repository's purpose-built static analyzers
+// (internal/lint) over godiva packages:
+//
+//	go run ./cmd/godiva-lint ./...
+//	go run ./cmd/godiva-lint -tags godivainvariants ./internal/core
+//
+// It prints findings as file:line:col: [analyzer] message and exits with
+// status 1 when there are findings, 2 on usage or load errors. Findings can
+// be suppressed with a //lint:ignore <analyzer> <reason> directive on or
+// directly above the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"godiva/internal/lint"
+)
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags to enable (as in go build -tags)")
+	verbose := flag.Bool("v", false, "also print type-check diagnostics the analyzers tolerated")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: godiva-lint [-tags taglist] [packages]\n\nanalyzers:\n")
+		for _, d := range lint.AnalyzerDocs() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", d)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "godiva-lint: %v\n", err)
+		os.Exit(2)
+	}
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	m, err := lint.LoadModule(root, tagList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "godiva-lint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint.Run(m, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "godiva-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		// Reload package-by-package to surface tolerated type errors.
+		dirs, _ := m.ExpandPatterns(patterns)
+		for _, dir := range dirs {
+			if pkg, err := m.LintPackage(dir); err == nil {
+				for _, terr := range pkg.TypeErrors {
+					fmt.Fprintf(os.Stderr, "godiva-lint: note: %v\n", terr)
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		fmt.Println(relativize(root, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "godiva-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relativize prints a finding with the module-relative path when possible.
+func relativize(root string, f lint.Finding) string {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

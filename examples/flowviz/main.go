@@ -198,19 +198,23 @@ func makeReadFunc(spec genx.Spec, dir string) godiva.ReadFunc {
 					cp(buf)
 				}
 				fill("coords", 8*len(bd.Mesh.Coords), func(b *godiva.Buffer) {
-					dst, _ := b.Float64s()
+					dst, err := b.Float64s()
+					must(err)
 					copy(dst, bd.Mesh.Coords)
 				})
 				fill("conn", 4*len(bd.Mesh.Tets), func(b *godiva.Buffer) {
-					dst, _ := b.Int32s()
+					dst, err := b.Int32s()
+					must(err)
 					copy(dst, bd.Mesh.Tets)
 				})
 				fill("gids", 8*len(bd.Mesh.GlobalNode), func(b *godiva.Buffer) {
-					dst, _ := b.Int64s()
+					dst, err := b.Int64s()
+					must(err)
 					copy(dst, bd.Mesh.GlobalNode)
 				})
 				fill("velocity", 8*len(bd.Node["velocity"]), func(b *godiva.Buffer) {
-					dst, _ := b.Float64s()
+					dst, err := b.Float64s()
+					must(err)
 					copy(dst, bd.Node["velocity"])
 				})
 				if err := u.DB().CommitRecord(rec); err != nil {

@@ -59,7 +59,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, _ := buf.Float64s()
+	p, err := buf.Float64s()
+	must(err)
 	fmt.Printf("pressure buffer of block_0003 @ 0.000075: %d values, %d bytes (Figure 2: 80000)\n",
 		len(p), buf.Size())
 
@@ -96,9 +97,12 @@ func renderBlock(db *godiva.DB, blockID, stepID, out string) error {
 	must(err)
 	tbuf, err := db.GetFieldBuffer("fluid", "temperature", blockID, stepID)
 	must(err)
-	x, _ := xbuf.Float64s()
-	y, _ := ybuf.Float64s()
-	temp, _ := tbuf.Float64s()
+	x, err := xbuf.Float64s()
+	must(err)
+	y, err := ybuf.Float64s()
+	must(err)
+	temp, err := tbuf.Float64s()
+	must(err)
 	grid := &mesh.StructuredBlock2D{NX: len(x) - 1, NY: len(y) - 1, XCoords: x, YCoords: y}
 	surf, err := vis.Structured2DSurface(grid, temp)
 	if err != nil {
@@ -156,8 +160,10 @@ func bottomForce(db *godiva.DB, blockID, stepID string) float64 {
 	must(err)
 	pbuf, err := db.GetFieldBuffer("fluid", "pressure", blockID, stepID)
 	must(err)
-	x, _ := xbuf.Float64s()
-	p, _ := pbuf.Float64s()
+	x, err := xbuf.Float64s()
+	must(err)
+	p, err := pbuf.Float64s()
+	must(err)
 	nx := len(x) - 1
 	var force float64
 	for i := 0; i < nx; i++ {

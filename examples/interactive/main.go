@@ -89,7 +89,10 @@ func view(db *godiva.DB, spec genx.Spec, step int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	t, _ := buf.Float64s()
+	t, err := buf.Float64s()
+	if err != nil {
+		log.Fatal(err)
+	}
 	lo, hi := t[0], t[0]
 	for _, v := range t {
 		if v < lo {
@@ -99,8 +102,9 @@ func view(db *godiva.DB, spec genx.Spec, step int) {
 			hi = v
 		}
 	}
-	_ = lo
-	_ = hi
+	if hi < lo {
+		log.Fatalf("impossible temperature range [%g, %g]", lo, hi)
+	}
 }
 
 // defineSchema declares the block record type (keys: block ID, step ID).
@@ -169,7 +173,11 @@ func makeReadFunc(spec genx.Spec, dir string) godiva.ReadFunc {
 						h.Close()
 						return err
 					}
-					dst, _ := buf.Float64s()
+					dst, err := buf.Float64s()
+					if err != nil {
+						h.Close()
+						return err
+					}
 					copy(dst, data)
 				}
 				if err := u.DB().CommitRecord(rec); err != nil {

@@ -103,7 +103,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, _ := buf.Float64s()
+		p, err := buf.Float64s()
+		must(err)
 		lo, hi := p[0], p[0]
 		for _, v := range p {
 			lo, hi = math.Min(lo, v), math.Max(hi, v)

@@ -89,6 +89,7 @@ var (
 	ErrDeadlock          = core.ErrDeadlock
 	ErrUnitFailed        = core.ErrUnitFailed
 	ErrNoMemory          = core.ErrNoMemory
+	ErrUnitState         = core.ErrUnitState
 )
 
 // Open creates a GODIVA database. The caller must Close it.

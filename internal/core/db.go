@@ -59,14 +59,14 @@ const DefaultMemoryLimit = 256 << 20
 type DB struct {
 	mu sync.RWMutex
 
-	fieldTypes  map[string]*fieldType
-	recordTypes map[string]*recordType
-	indexes     map[string]*rbtree.Tree[*Record] // record type name -> key index
-	resident    map[*Record]struct{}             // records owned by no unit
+	fieldTypes  map[string]*fieldType            // guarded by mu
+	recordTypes map[string]*recordType           // guarded by mu
+	indexes     map[string]*rbtree.Tree[*Record] // record type name -> key index; guarded by mu
+	resident    map[*Record]struct{}             // records owned by no unit; guarded by mu
 
-	units map[string]*unit
-	queue []*unit // prefetch FIFO (statePending units, in AddUnit order)
-	lru   lruList // finished, unreferenced units, evictable
+	units map[string]*unit // guarded by mu
+	queue []*unit          // prefetch FIFO (statePending units, in AddUnit order); guarded by mu
+	lru   lruList          // finished, unreferenced units, evictable; guarded by mu
 
 	// memWaiters is the FIFO of goroutines blocked in reserveLocked waiting
 	// for memory. They are woken, in FIFO order, only by events that can
@@ -76,32 +76,32 @@ type DB struct {
 	// unit-state waiter registering, a read ending (runRead — a progressing
 	// reader disappears), a unit dropped (dropUnitLocked — queued work
 	// disappears), and Close. Unit-state waiters are never woken by memory
-	// traffic; ordinary queries wake nobody.
+	// traffic; ordinary queries wake nobody. Guarded by mu.
 	memWaiters []chan struct{}
 
 	// idleWorkers is the FIFO of background I/O workers sleeping for the
 	// prefetch queue to become non-empty. AddUnit wakes exactly one idle
 	// worker per enqueued unit; busy workers re-check the queue when their
-	// current read completes and need no signal.
+	// current read completes and need no signal. Guarded by mu.
 	idleWorkers []chan struct{}
 
-	mem    int64 // bytes charged
-	limit  int64
-	closed bool
+	mem    int64 // bytes charged; guarded by mu
+	limit  int64 // guarded by mu
+	closed bool  // guarded by mu
 
-	ioWorkers     int // background I/O pool size; 0 in single-thread mode
-	ioReading     int // workers currently executing a read
-	ioBlocked     int // workers currently blocked on memory in reserveLocked
-	inlineReading int // application threads currently executing an inline read
-	inlineBlocked int // inline readers currently blocked on memory
+	ioWorkers     int            // background I/O pool size; 0 in single-thread mode; immutable after Open
+	ioReading     int            // workers currently executing a read; guarded by mu
+	ioBlocked     int            // workers currently blocked on memory in reserveLocked; guarded by mu
+	inlineReading int            // application threads currently executing an inline read; guarded by mu
+	inlineBlocked int            // inline readers currently blocked on memory; guarded by mu
 	ioWg          sync.WaitGroup // joined by Close once every worker exits
-	workers       []workerState  // per-worker state, indexed by worker id
+	workers       []workerState  // per-worker state, indexed by worker id; slice header immutable after Open
 
-	stats        statsCounters
-	statsSources map[string]func() any // named external counter providers
+	stats        statsCounters         // atomic counters, never accessed under mu (see stats.go)
+	statsSources map[string]func() any // named external counter providers; guarded by mu
 
-	traceEvents bool
-	events      []UnitEvent
+	traceEvents bool        // immutable after Open
+	events      []UnitEvent // guarded by mu
 }
 
 // Open creates a GODIVA database and, in background-I/O mode, starts its I/O
@@ -164,6 +164,7 @@ func (db *DB) Close() error {
 	db.ioWg.Wait()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("Close")
 	for _, u := range db.units {
 		db.dropUnitLocked(u)
 	}
@@ -180,6 +181,7 @@ func (db *DB) Close() error {
 func (db *DB) SetMemSpace(bytes int64) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("SetMemSpace")
 	db.limit = bytes
 	for db.mem > db.limit {
 		if !db.evictOneLocked() {
@@ -205,7 +207,9 @@ func (db *DB) MemLimit() int64 {
 	return db.limit
 }
 
-func (db *DB) indexFor(recType string) *rbtree.Tree[*Record] {
+// indexForLocked returns (creating on demand) the key index of a record
+// type. Caller holds db.mu (write).
+func (db *DB) indexForLocked(recType string) *rbtree.Tree[*Record] {
 	idx, ok := db.indexes[recType]
 	if !ok {
 		idx = rbtree.New[*Record]()
@@ -314,6 +318,7 @@ func (db *DB) reserveLocked(need int64, owner *unit) error {
 	}
 	db.mem += need
 	db.stats.observePeak(db.mem)
+	db.checkMemLocked("reserveLocked")
 	return nil
 }
 
@@ -423,6 +428,7 @@ func (db *DB) stuckWaiterLocked(owner *unit) bool {
 // and are not woken by memory traffic. Caller holds db.mu (write).
 func (db *DB) releaseLocked(n int64) {
 	db.mem -= n
+	db.checkMemLocked("releaseLocked")
 	if n > 0 {
 		db.wakeMemWaitersLocked()
 	}
@@ -433,7 +439,7 @@ func (db *DB) releaseLocked(n int64) {
 // are woken by the memory release itself (releaseLocked, via
 // dropRecordLocked). Caller holds db.mu (write).
 func (db *DB) evictOneLocked() bool {
-	u := db.lru.popLRU()
+	u := db.lru.popLRULocked()
 	if u == nil {
 		return false
 	}
@@ -448,7 +454,7 @@ func (db *DB) evictOneLocked() bool {
 func (db *DB) dropUnitLocked(u *unit) {
 	db.recordEventLocked(u, u.state, stateDeleted)
 	db.unqueueLocked(u)
-	db.lru.remove(u)
+	db.lru.removeLocked(u)
 	for _, r := range u.records {
 		db.dropRecordLocked(r)
 	}

@@ -19,8 +19,11 @@ type UnitEvent struct {
 const maxEvents = 65536
 
 // recordEventLocked appends a transition to the event log when tracing is
-// enabled. Caller holds db.mu.
+// enabled. Every unit state transition funnels through here, which makes it
+// the natural seam for the godivainvariants transition-table check — it runs
+// even when tracing is off. Caller holds db.mu.
 func (db *DB) recordEventLocked(u *unit, from, to unitState) {
+	db.checkTransitionLocked(u, from, to)
 	if !db.traceEvents {
 		return
 	}

@@ -76,8 +76,16 @@ func TestScanPrefix(t *testing.T) {
 	// Prefix scan: all time steps of one block, in key order.
 	var steps []string
 	err = db.ScanPrefix("fluid", func(r *Record) bool {
-		buf, _ := r.FieldBuffer("time-step id")
-		s, _ := buf.StringValue()
+		buf, err := r.FieldBuffer("time-step id")
+		if err != nil {
+			t.Errorf("FieldBuffer: %v", err)
+			return false
+		}
+		s, err := buf.StringValue()
+		if err != nil {
+			t.Errorf("StringValue: %v", err)
+			return false
+		}
 		steps = append(steps, s)
 		return true
 	}, "block_0002$")

@@ -23,7 +23,11 @@ import (
 func populateQueryDB(tb testing.TB, n int) (*DB, [][]any) {
 	tb.Helper()
 	db := Open(Options{MemoryLimit: 64 << 20})
-	tb.Cleanup(func() { db.Close() })
+	tb.Cleanup(func() {
+		if err := db.Close(); err != nil {
+			tb.Errorf("close: %v", err)
+		}
+	})
 	if err := db.DefineField("cell", String, 16); err != nil {
 		tb.Fatal(err)
 	}
@@ -221,7 +225,10 @@ func BenchmarkStatsSnapshot(b *testing.B) {
 					return
 				default:
 				}
-				db.GetFieldBuffer("grid", "data", keys[i%len(keys)]...)
+				if _, err := db.GetFieldBuffer("grid", "data", keys[i%len(keys)]...); err != nil {
+					b.Error(err)
+					return
+				}
 				i++
 			}
 		}()

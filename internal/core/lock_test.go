@@ -370,7 +370,9 @@ func TestStatsSnapshotConcurrentWithChurn(t *testing.T) {
 			if db.WaitUnit(name) != nil {
 				return
 			}
-			db.DeleteUnit(name)
+			if db.DeleteUnit(name) != nil {
+				return
+			}
 		}
 	}()
 	var prev Stats

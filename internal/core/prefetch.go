@@ -14,6 +14,7 @@ import (
 func (db *DB) AddUnit(name string, read ReadFunc) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("AddUnit")
 	if db.closed {
 		return ErrClosed
 	}
@@ -26,8 +27,8 @@ func (db *DB) AddUnit(name string, read ReadFunc) error {
 			return nil
 		case stateFinished:
 			// Still cached: refresh its recency so it survives until used.
-			db.lru.remove(u)
-			db.lru.pushMRU(u)
+			db.lru.removeLocked(u)
+			db.lru.pushMRULocked(u)
 			db.stats.cacheHits.Add(1)
 			return nil
 		case stateFailed:
@@ -81,6 +82,7 @@ func (db *DB) ReadUnit(name string, read ReadFunc) error {
 		db.mu.Unlock()
 		db.stats.visibleWaitNanos.Add(int64(time.Since(start)))
 	}()
+	defer db.checkInvariantsLocked("ReadUnit")
 	if db.closed {
 		return ErrClosed
 	}
@@ -105,6 +107,7 @@ func (db *DB) WaitUnit(name string) error {
 		db.mu.Unlock()
 		db.stats.visibleWaitNanos.Add(int64(time.Since(start)))
 	}()
+	defer db.checkInvariantsLocked("WaitUnit")
 	if db.closed {
 		return ErrClosed
 	}
@@ -152,7 +155,7 @@ func (db *DB) acquireUnitLocked(u *unit, inline bool) error {
 			return nil
 		case stateFinished:
 			db.recordEventLocked(u, stateFinished, stateReady)
-			db.lru.remove(u)
+			db.lru.removeLocked(u)
 			u.state = stateReady
 			u.refs++
 			db.stats.cacheHits.Add(1)
@@ -202,10 +205,14 @@ func (db *DB) waitStateLocked(u *unit) {
 // u.state = stateReading under db.mu and released the lock.
 func (db *DB) runRead(u *unit) bool {
 	start := time.Now()
+	//lint:ignore lockcheck u.read is published under db.mu before the unit
+	// enters stateReading, and this goroutine owns the unit until the read
+	// completes — the unlocked access cannot race (see the unit doc comment).
 	err := u.read(&Unit{db: db, u: u})
 	db.stats.readTimeNanos.Add(int64(time.Since(start)))
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("runRead")
 	if err == nil {
 		err = u.allocFailed
 	}
@@ -246,6 +253,7 @@ func (db *DB) runRead(u *unit) bool {
 func (db *DB) FinishUnit(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("FinishUnit")
 	if db.closed {
 		return ErrClosed
 	}
@@ -260,7 +268,7 @@ func (db *DB) FinishUnit(name string) error {
 		}
 		if u.refs == 0 {
 			db.setStateLocked(u, stateFinished)
-			db.lru.pushMRU(u)
+			db.lru.pushMRULocked(u)
 			// The unit just became evictable: blocked memory reservers may
 			// now succeed by evicting it, so they must re-check.
 			db.wakeMemWaitersLocked()
@@ -269,7 +277,7 @@ func (db *DB) FinishUnit(name string) error {
 	case stateFinished:
 		return nil
 	default:
-		return fmt.Errorf("godiva: cannot finish unit %q in state %v", name, u.state)
+		return fmt.Errorf("%w: cannot finish unit %q in state %v", ErrUnitState, name, u.state)
 	}
 }
 
@@ -280,6 +288,7 @@ func (db *DB) FinishUnit(name string) error {
 func (db *DB) DeleteUnit(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("DeleteUnit")
 	if db.closed {
 		return ErrClosed
 	}

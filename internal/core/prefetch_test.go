@@ -400,17 +400,17 @@ func TestWorkerPoolStressRace(t *testing.T) {
 						name := fmt.Sprintf("u%02d", (g*11+i)%16)
 						switch i % 6 {
 						case 0, 4:
-							db.AddUnit(name, rd)
+							ignoreRaceErr(db.AddUnit(name, rd))
 						case 1:
 							if db.ReadUnit(name, rd) == nil {
-								db.FinishUnit(name)
+								ignoreRaceErr(db.FinishUnit(name))
 							}
 						case 2:
 							if db.WaitUnit(name) == nil {
-								db.FinishUnit(name)
+								ignoreRaceErr(db.FinishUnit(name))
 							}
 						case 3:
-							db.DeleteUnit(name)
+							ignoreRaceErr(db.DeleteUnit(name))
 						case 5:
 							db.SetMemSpace(4096 + int64((g+i)%5)*1024)
 						}
@@ -423,14 +423,16 @@ func TestWorkerPoolStressRace(t *testing.T) {
 					// a reader wedged on memory fails with ErrDeadlock
 					// instead of pinning the delete.
 					for n := 0; n < 16; n++ {
-						db.DeleteUnit(fmt.Sprintf("u%02d", n))
+						ignoreRaceErr(db.DeleteUnit(fmt.Sprintf("u%02d", n)))
 					}
 				}(g)
 			}
 			wg.Wait()
 			db.SetMemSpace(1 << 20)
 			for _, u := range db.Units() {
-				db.DeleteUnit(u.Name)
+				if err := db.DeleteUnit(u.Name); err != nil {
+					t.Fatalf("delete %s after churn: %v", u.Name, err)
+				}
 			}
 			if used := db.MemUsed(); used != 0 {
 				t.Fatalf("MemUsed = %d after deleting everything", used)

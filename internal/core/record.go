@@ -83,6 +83,7 @@ func (db *DB) newRecordLocked(recType string, owner *unit) (*Record, error) {
 func (db *DB) NewRecord(recType string) (*Record, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("NewRecord")
 	return db.newRecordLocked(recType, nil)
 }
 
@@ -97,6 +98,7 @@ func (r *Record) AllocFieldBuffer(field string, size int) (*Buffer, error) {
 	db := r.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("AllocFieldBuffer")
 	if db.closed {
 		return nil, ErrClosed
 	}
@@ -174,6 +176,7 @@ func (r *Record) SetString(field, s string) error {
 func (db *DB) CommitRecord(r *Record) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("CommitRecord")
 	if db.closed {
 		return ErrClosed
 	}
@@ -184,7 +187,7 @@ func (db *DB) CommitRecord(r *Record) error {
 	if err != nil {
 		return err
 	}
-	idx := db.indexFor(r.rt.name)
+	idx := db.indexForLocked(r.rt.name)
 	if prev, ok := idx.Get(key); ok {
 		db.dropRecordLocked(prev)
 	}
@@ -202,6 +205,7 @@ func (db *DB) CommitRecord(r *Record) error {
 func (db *DB) DeleteRecord(r *Record) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("DeleteRecord")
 	if db.closed {
 		return ErrClosed
 	}

@@ -79,6 +79,7 @@ func (db *DB) Stats() Stats {
 	s.PeakBytes = c.peakBytes.Load()
 	s.VisibleWait = time.Duration(c.visibleWaitNanos.Load())
 	s.ReadTime = time.Duration(c.readTimeNanos.Load())
+	checkStatsSnapshot(&s)
 	return s
 }
 

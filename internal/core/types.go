@@ -126,4 +126,9 @@ var (
 	// ErrNoMemory is returned when a single allocation exceeds the database
 	// memory limit outright.
 	ErrNoMemory = errors.New("godiva: allocation exceeds database memory limit")
+	// ErrUnitState is returned when a unit lifecycle operation is applied in
+	// a state that does not allow it — e.g. finishing a unit that is still
+	// pending or already deleted. Callers racing on shared unit names can
+	// match it with errors.Is to tolerate exactly this case.
+	ErrUnitState = errors.New("godiva: unit is in the wrong state for this operation")
 )

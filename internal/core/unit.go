@@ -42,39 +42,47 @@ func (s unitState) String() string {
 // unit is a processing unit: a named set of records brought into or evicted
 // from the GODIVA database as a whole (paper §3.2). It is the granularity of
 // background I/O, caching and eviction.
+// Every mutable unit field is guarded by the owning DB's mu; the unit has no
+// lock of its own. The only exception is read, which is also accessed by the
+// goroutine that owns the unit's stateReading window (see runRead).
 type unit struct {
-	name    string
-	state   unitState
-	read    ReadFunc
-	records []*Record
-	memory  int64 // bytes charged by this unit's records
-	refs    int   // consumers between WaitUnit/ReadUnit and FinishUnit
-	err     error // terminal read error (stateFailed)
+	name    string    // immutable after creation
+	state   unitState // guarded by db.mu
+	read    ReadFunc  // guarded by db.mu; also read by the owning reader goroutine
+	records []*Record // guarded by db.mu
+	memory  int64     // bytes charged by this unit's records; guarded by db.mu
+	refs    int       // consumers between WaitUnit/ReadUnit and FinishUnit; guarded by db.mu
+	err     error     // terminal read error (stateFailed); guarded by db.mu
 
 	// everAcquired marks that some consumer has pinned the unit before, so
 	// later acquisitions of a still-Ready unit count as cache hits.
+	// Guarded by db.mu.
 	everAcquired bool
 
 	// waiters counts goroutines blocked in WaitUnit/ReadUnit on this unit;
 	// the deadlock detector only considers waiters on unproduced units.
+	// Guarded by db.mu.
 	waiters int
 
 	// inline marks a read running on an application thread (ReadUnit, or
 	// WaitUnit in the single-thread library) rather than an I/O worker.
+	// Guarded by db.mu.
 	inline bool
 
 	// worker is the index of the background I/O worker reading (or last to
 	// read) this unit, -1 for inline reads and never-dispatched units.
+	// Guarded by db.mu.
 	worker int
 
 	// memBlocked marks that this unit's read function is currently blocked
 	// on memory inside reserveLocked; the deadlock detector uses it to tell
-	// stalled producers from progressing ones.
+	// stalled producers from progressing ones. Guarded by db.mu.
 	memBlocked bool
 
 	// allocFailed records a memory-reservation failure (e.g. ErrDeadlock)
 	// raised while this unit's read function ran, so the failure reaches
 	// waiters even if the read function swallows the allocation error.
+	// Guarded by db.mu.
 	allocFailed error
 
 	// stateCh is this unit's wait channel: lazily created by the first
@@ -82,12 +90,13 @@ type unit struct {
 	// transition (notifyUnitLocked), so a wait observes exactly "the state
 	// changed since I looked". Only waiters on this unit are woken — state
 	// changes never disturb other units' waiters or memory waiters.
+	// Guarded by db.mu.
 	stateCh chan struct{}
 
 	// Intrusive LRU list links; non-nil membership means the unit is in the
-	// evictable list (stateFinished, refs == 0).
+	// evictable list (stateFinished, refs == 0). Guarded by db.mu.
 	lruPrev, lruNext *unit
-	inLRU            bool
+	inLRU            bool // guarded by db.mu
 }
 
 // ReadFunc is a developer-supplied read function: it reads one processing
@@ -116,17 +125,21 @@ func (x *Unit) DB() *DB { return x.db }
 func (x *Unit) NewRecord(recType string) (*Record, error) {
 	x.db.mu.Lock()
 	defer x.db.mu.Unlock()
+	defer x.db.checkInvariantsLocked("Unit.NewRecord")
 	return x.db.newRecordLocked(recType, x.u)
 }
 
 // --- intrusive LRU list (head = least recently used) ---
+//
+// The list is a DB field and its links live in unit structs, all guarded by
+// db.mu; the *Locked method names mark that callers must hold it.
 
 type lruList struct {
-	head, tail *unit
-	n          int
+	head, tail *unit // guarded by db.mu
+	n          int   // guarded by db.mu
 }
 
-func (l *lruList) pushMRU(u *unit) {
+func (l *lruList) pushMRULocked(u *unit) {
 	if u.inLRU {
 		return
 	}
@@ -142,7 +155,7 @@ func (l *lruList) pushMRU(u *unit) {
 	l.n++
 }
 
-func (l *lruList) remove(u *unit) {
+func (l *lruList) removeLocked(u *unit) {
 	if !u.inLRU {
 		return
 	}
@@ -161,11 +174,11 @@ func (l *lruList) remove(u *unit) {
 	l.n--
 }
 
-// popLRU removes and returns the least-recently-used unit, or nil.
-func (l *lruList) popLRU() *unit {
+// popLRULocked removes and returns the least-recently-used unit, or nil.
+func (l *lruList) popLRULocked() *unit {
 	u := l.head
 	if u != nil {
-		l.remove(u)
+		l.removeLocked(u)
 	}
 	return u
 }

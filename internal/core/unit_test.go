@@ -368,11 +368,15 @@ func TestReadFunctionErrorPropagates(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		r.SetString("name", "partial")
+		if err := r.SetString("name", "partial"); err != nil {
+			return err
+		}
 		if _, err := r.AllocFieldBuffer("payload", 512); err != nil {
 			return err
 		}
-		u.DB().CommitRecord(r)
+		if err := u.DB().CommitRecord(r); err != nil {
+			return err
+		}
 		return boom
 	}); err != nil {
 		t.Fatal(err)
@@ -609,24 +613,26 @@ func TestConcurrentLifecycleStress(t *testing.T) {
 				name := fmt.Sprintf("u%02d", (g*7+i)%12)
 				switch i % 4 {
 				case 0:
-					db.AddUnit(name, rd)
+					ignoreRaceErr(db.AddUnit(name, rd))
 				case 1:
 					if err := db.ReadUnit(name, rd); err == nil {
-						db.FinishUnit(name)
+						ignoreRaceErr(db.FinishUnit(name))
 					}
 				case 2:
 					if err := db.WaitUnit(name); err == nil {
-						db.FinishUnit(name)
+						ignoreRaceErr(db.FinishUnit(name))
 					}
 				case 3:
-					db.DeleteUnit(name)
+					ignoreRaceErr(db.DeleteUnit(name))
 				}
 			}
 		}(g)
 	}
 	wg.Wait()
 	for _, u := range db.Units() {
-		db.DeleteUnit(u.Name)
+		if err := db.DeleteUnit(u.Name); err != nil {
+			t.Fatalf("delete %s after churn: %v", u.Name, err)
+		}
 	}
 	if used := db.MemUsed(); used != 0 {
 		t.Fatalf("MemUsed = %d after deleting everything", used)

@@ -98,7 +98,13 @@ func TestEnsureDatasetIdempotent(t *testing.T) {
 	if !again.ModTime().Equal(first.ModTime()) {
 		t.Fatal("EnsureDataset regenerated an up-to-date dataset")
 	}
-	_ = before
+	after, err := os.Stat(marker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("EnsureDataset rewrote the marker of an up-to-date dataset")
+	}
 	// A changed spec regenerates.
 	s2 := s
 	s2.Spec.Snapshots = 3

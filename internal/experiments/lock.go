@@ -290,9 +290,14 @@ func runLockCell(cfg LockSweepConfig, mode string, readers, workers, procs int, 
 					return
 				}
 				// Finish can also race a shared-name re-add (the unit is back
-				// to pending under another pipeline); any finish error is one
-				// of those races and the delete below resolves the unit.
-				_ = db.FinishUnit(name)
+				// to pending under another pipeline, or already deleted);
+				// exactly those two races are tolerable — the delete below
+				// resolves the unit either way.
+				if err := db.FinishUnit(name); err != nil &&
+					!errors.Is(err, core.ErrUnknownUnit) && !errors.Is(err, core.ErrUnitState) {
+					errc <- fmt.Errorf("finish %s: %w", name, err)
+					return
+				}
 				if err := db.DeleteUnit(name); err != nil && !errors.Is(err, core.ErrUnknownUnit) {
 					errc <- fmt.Errorf("delete %s: %w", name, err)
 					return
@@ -374,7 +379,9 @@ func RunLockSweep(cfg LockSweepConfig) ([]*LockCell, error) {
 				cfg.logf("lock sweep: remote, readers=%d workers=%d procs=%d…", readers, workers, procs)
 				client := remote.NewClient(remote.ClientOptions{Addr: srv.Addr(), PoolSize: workers})
 				cell, err := runLockCell(cfg, "remote", readers, workers, procs, remoteLockChurn(cfg, client))
-				client.Close()
+				if cerr := client.Close(); err == nil {
+					err = cerr
+				}
 				if err != nil {
 					return nil, err
 				}

@@ -316,7 +316,9 @@ func RunRemoteSweep(cfg RemoteSweepConfig) ([]*RemoteCell, error) {
 		client := remote.NewClient(remote.ClientOptions{Addr: srv.Addr(), PoolSize: w})
 		read := remote.NewReadFunc(client, resolve, vars, commitRemoteBlock)
 		cell, err := runRemoteCell(cfg, w, read, client)
-		client.Close()
+		if cerr := client.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -140,9 +140,11 @@ func TestSnapshotsEvolveInTime(t *testing.T) {
 		}
 		return s
 	}
+	if spec.Snapshots < 2 {
+		t.Fatalf("writeTiny produced %d snapshots; need at least 2", spec.Snapshots)
+	}
 	s0 := read(0)
 	s1 := read(1)
-	_ = spec
 	diff := 0.0
 	for i := range s0 {
 		diff += math.Abs(s1[i] - s0[i])

@@ -1,0 +1,216 @@
+// Package lint implements godiva-lint, a purpose-built static-analysis
+// driver for this repository. It is deliberately standard-library-only
+// (go/parser, go/ast, go/types, go/importer — no golang.org/x/tools), and
+// its analyzers encode GODIVA-specific invariants that generic linters
+// cannot know:
+//
+//   - lockcheck: fields annotated "guarded by mu" and *Locked functions are
+//     only touched while the owning mutex is held.
+//   - paircheck: unit acquisitions (WaitUnit/ReadUnit) are paired with a
+//     FinishUnit/DeleteUnit/Close on every function, and field buffers are
+//     not retained past the release.
+//   - errcheck: error results of the godiva/core/remote public API are
+//     never silently discarded (including "_ =" discards).
+//   - atomiccheck: statsCounters-style atomic fields are only accessed
+//     through atomic methods, never by plain reads/writes or struct copies.
+//
+// Findings can be suppressed with a "//lint:ignore <analyzer> <reason>"
+// directive on the offending line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// File is one parsed source file of a lint package.
+type File struct {
+	Path string
+	AST  *ast.File
+	Test bool // *_test.go
+
+	// Ignores maps a line number to the analyzer names suppressed on that
+	// line by a lint:ignore directive ("all" suppresses every analyzer).
+	Ignores map[int][]string
+}
+
+// Package is one directory loaded for analysis. Files holds every linted
+// file; the primary package (production + in-package tests) is type-checked
+// into Types/Info, an external _test package into XTypes/XInfo.
+type Package struct {
+	Dir        string
+	ImportPath string // "" for directories outside the module (fixtures)
+	Module     *Module
+	Fset       *token.FileSet
+	Files      []*File
+
+	Types      *types.Package
+	Info       *types.Info
+	XTypes     *types.Package
+	XInfo      *types.Info
+	TypeErrors []error
+}
+
+// InfoFor returns the types.Info covering the given file (primary or
+// external-test), which may be nil when type-checking failed entirely.
+func (p *Package) InfoFor(f *File) *types.Info {
+	if strings.HasSuffix(f.AST.Name.Name, "_test") {
+		return p.XInfo
+	}
+	return p.Info
+}
+
+// An analyzer inspects one loaded package and reports findings.
+type analyzer struct {
+	name string
+	doc  string
+	run  func(p *Package) []Finding
+}
+
+// Analyzers is the full godiva-lint suite, in reporting order.
+var analyzers = []*analyzer{
+	lockcheckAnalyzer,
+	paircheckAnalyzer,
+	errcheckAnalyzer,
+	atomiccheckAnalyzer,
+}
+
+// AnalyzerDocs returns "name: doc" lines for -help output.
+func AnalyzerDocs() []string {
+	var out []string
+	for _, a := range analyzers {
+		out = append(out, fmt.Sprintf("%-12s %s", a.name, a.doc))
+	}
+	return out
+}
+
+// Run lints the package directories named by the go-style patterns and
+// returns all surviving findings, sorted by position. Parse failures are
+// returned as the error; type-check problems degrade the analysis but do
+// not stop it (mirroring go vet's behavior on broken trees they would fail
+// the build stage first anyway).
+func Run(m *Module, patterns []string) ([]Finding, error) {
+	dirs, err := m.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, dir := range dirs {
+		pkg, err := m.LintPackage(dir)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, RunPackage(pkg)...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// RunPackage applies every analyzer to one loaded package, dropping
+// findings suppressed by lint:ignore directives. Malformed directives are
+// themselves findings.
+func RunPackage(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for line, names := range f.Ignores {
+			if len(names) == 0 {
+				out = append(out, Finding{
+					Pos:      token.Position{Filename: f.Path, Line: line, Column: 1},
+					Analyzer: "directive",
+					Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+				})
+			}
+		}
+	}
+	for _, a := range analyzers {
+		for _, f := range a.run(p) {
+			if !suppressed(p, f) {
+				out = append(out, f)
+			}
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// suppressed reports whether a lint:ignore directive in the finding's file
+// covers the finding's line for its analyzer.
+func suppressed(p *Package, f Finding) bool {
+	for _, file := range p.Files {
+		if file.Path != f.Pos.Filename {
+			continue
+		}
+		for _, name := range file.Ignores[f.Pos.Line] {
+			if name == "all" || name == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores finds lint:ignore directives in a parsed file. A directive
+// suppresses the named analyzers on the last line of its comment group
+// (trailing-comment form) and on the first line after the group (preceding-
+// comment form, including multi-line explanation comments).
+func collectIgnores(fset *token.FileSet, f *ast.File) map[int][]string {
+	ignores := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(strings.TrimSpace(text), "lint:ignore")
+			if text == strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) {
+				continue // no lint:ignore prefix
+			}
+			fields := strings.Fields(text)
+			endLine := fset.Position(cg.End()).Line
+			if len(fields) < 2 {
+				// Analyzer list without a reason (or nothing at all):
+				// an empty entry marks the directive as malformed.
+				line := fset.Position(c.Pos()).Line
+				if _, ok := ignores[line]; !ok {
+					ignores[line] = nil
+				}
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			ignores[endLine] = append(ignores[endLine], names...)
+			ignores[endLine+1] = append(ignores[endLine+1], names...)
+		}
+	}
+	if len(ignores) == 0 {
+		return nil
+	}
+	return ignores
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// paircheck verifies GODIVA's unit lifecycle pairing per function:
+//
+//   - a WaitUnit/ReadUnit acquisition must be matched by a FinishUnit,
+//     DeleteUnit or db.Close() in the same function (Close is a wildcard:
+//     it releases everything). When both sides name the unit with a simple
+//     expression (identifier or string literal) the names must match;
+//     computed names match any release of the pair.
+//   - the remote reader cache's acquire() must be matched by a release()
+//     or closeAll() in the same function.
+//   - a *Buffer obtained from GetFieldBuffer / FieldBuffer while a unit is
+//     pinned must not be used after the FinishUnit/DeleteUnit that unpins
+//     it — the buffer may be evicted at any moment after the release.
+//
+// Functions that acquire and intentionally hand the release to a caller
+// can annotate the acquisition with //lint:ignore paircheck <reason>.
+// Test files are not analyzed.
+var paircheckAnalyzer = &analyzer{
+	name: "paircheck",
+	doc:  "unit acquire/release pairing and buffers retained past release",
+	run:  runPaircheck,
+}
+
+type lifecyclePair struct {
+	acquire  []string
+	release  []string
+	wildcard []string // release-everything calls (no name matching)
+	matchArg bool     // match first-argument text between acquire and release
+	recvType string   // required receiver type substring, "" for any
+	what     string
+}
+
+var lifecyclePairs = []lifecyclePair{
+	{
+		acquire:  []string{"WaitUnit", "ReadUnit"},
+		release:  []string{"FinishUnit", "DeleteUnit"},
+		wildcard: []string{"Close"},
+		matchArg: true,
+		what:     "unit",
+	},
+	{
+		acquire:  []string{"acquire"},
+		release:  []string{"release"},
+		wildcard: []string{"closeAll"},
+		recvType: "readerCache",
+		what:     "cached reader",
+	},
+}
+
+// bufferSources are the calls whose *Buffer results become invalid once the
+// owning unit is released.
+var bufferSources = map[string]bool{"GetFieldBuffer": true, "FieldBuffer": true}
+
+type pairCall struct {
+	name string
+	arg  string // "" when absent or not a simple expression
+	pos  token.Pos
+}
+
+func runPaircheck(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		info := p.InfoFor(f)
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkPairs(p, info, f, fd)...)
+			out = append(out, checkBufferRetention(p, info, fd)...)
+		}
+	}
+	return out
+}
+
+// methodCall decomposes e into (method name, receiver expr) when it is a
+// method-style call x.f(...).
+func methodCall(e ast.Expr) (string, ast.Expr, *ast.CallExpr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", nil, nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, nil
+	}
+	return sel.Sel.Name, sel.X, call
+}
+
+// recvMatches reports whether the receiver expression's type (when known)
+// contains the required substring. With no type info the name-based match
+// stands alone, which is fine for the specific method-name sets used here.
+func recvMatches(info *types.Info, recv ast.Expr, want string) bool {
+	if want == "" {
+		return true
+	}
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[recv]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return strings.Contains(tv.Type.String(), want)
+}
+
+// simpleArg renders a call's first argument when it is an identifier or
+// basic literal; computed expressions return "".
+func simpleArg(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	switch a := call.Args[0].(type) {
+	case *ast.Ident:
+		return a.Name
+	case *ast.BasicLit:
+		return a.Value
+	}
+	return ""
+}
+
+func checkPairs(p *Package, info *types.Info, f *File, fd *ast.FuncDecl) []Finding {
+	type bucket struct {
+		acquires []pairCall
+		releases []pairCall
+		anyWild  bool
+	}
+	buckets := make([]bucket, len(lifecyclePairs))
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		name, recv, call := methodCall(e)
+		if call == nil {
+			return true
+		}
+		for i, pr := range lifecyclePairs {
+			if !recvMatches(info, recv, pr.recvType) {
+				continue
+			}
+			pc := pairCall{name: name, pos: call.Pos()}
+			if pr.matchArg {
+				pc.arg = simpleArg(call)
+			}
+			switch {
+			case contains(pr.acquire, name):
+				buckets[i].acquires = append(buckets[i].acquires, pc)
+			case contains(pr.release, name):
+				buckets[i].releases = append(buckets[i].releases, pc)
+			case contains(pr.wildcard, name):
+				buckets[i].anyWild = true
+			}
+		}
+		return true
+	})
+	var out []Finding
+	for i, pr := range lifecyclePairs {
+		b := buckets[i]
+		for _, acq := range b.acquires {
+			if b.anyWild {
+				continue
+			}
+			matched := false
+			for _, rel := range b.releases {
+				if !pr.matchArg || acq.arg == "" || rel.arg == "" || acq.arg == rel.arg {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				rels := strings.Join(append(append([]string{}, pr.release...), pr.wildcard...), "/")
+				out = append(out, Finding{
+					Pos:      p.Fset.Position(acq.pos),
+					Analyzer: "paircheck",
+					Message: fmt.Sprintf("%s acquired with %s but no matching %s in %s",
+						pr.what, acq.name, rels, fd.Name.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkBufferRetention flags uses of GetFieldBuffer/FieldBuffer results on
+// lines after the function's releases of the same unit name. The check is
+// lexical (line-ordered), which matches the loop-per-timestep structure of
+// GODIVA applications: a buffer variable re-assigned each iteration is
+// assigned before the release on every path.
+func checkBufferRetention(p *Package, info *types.Info, fd *ast.FuncDecl) []Finding {
+	type bufVar struct {
+		obj        types.Object
+		name       string
+		assignLine int
+	}
+	var bufs []bufVar
+	type release struct {
+		line int
+		arg  string
+	}
+	var releases []release
+
+	line := func(pos token.Pos) int { return p.Fset.Position(pos).Line }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				name, _, call := methodCall(rhs)
+				if call == nil || !bufferSources[name] || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				bv := bufVar{name: id.Name, assignLine: line(n.Pos())}
+				if info != nil {
+					if obj := info.Defs[id]; obj != nil {
+						bv.obj = obj
+					} else if obj := info.Uses[id]; obj != nil {
+						bv.obj = obj
+					}
+				}
+				bufs = append(bufs, bv)
+			}
+		case *ast.CallExpr:
+			name, _, call := methodCall(n)
+			if call != nil && (name == "FinishUnit" || name == "DeleteUnit") {
+				releases = append(releases, release{line: line(call.Pos()), arg: simpleArg(call)})
+			}
+		}
+		return true
+	})
+	if len(bufs) == 0 || len(releases) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	seen := make(map[string]bool) // one finding per variable
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		useLine := line(id.Pos())
+		for _, bv := range bufs {
+			if seen[bv.name] {
+				continue
+			}
+			if bv.obj != nil && info != nil {
+				if info.Uses[id] != bv.obj {
+					continue
+				}
+			} else if id.Name != bv.name {
+				continue
+			}
+			if useLine <= bv.assignLine {
+				continue
+			}
+			for _, rel := range releases {
+				if rel.line <= bv.assignLine || rel.line >= useLine {
+					continue
+				}
+				seen[bv.name] = true
+				out = append(out, Finding{
+					Pos:      p.Fset.Position(id.Pos()),
+					Analyzer: "paircheck",
+					Message: fmt.Sprintf("buffer %q from %s is used after the unit release on line %d (buffer may be evicted)",
+						bv.name, "GetFieldBuffer/FieldBuffer", rel.line),
+				})
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

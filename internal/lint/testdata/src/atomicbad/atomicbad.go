@@ -1,0 +1,34 @@
+// Package atomicbad seeds atomiccheck violations: plain accesses to
+// sync/atomic fields and tearing copies of counter structs. Every offending
+// line carries a // want comment consumed by lint_test.go.
+package atomicbad
+
+import "sync/atomic"
+
+type counters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type server struct {
+	stats counters
+}
+
+func plainCopy(s *server) int64 {
+	c := s.stats.hits // want atomiccheck `atomic field "hits" accessed without an atomic method`
+	return c.Load()
+}
+
+func tearingCopy(s *server) counters {
+	return s.stats // want atomiccheck `copy of "stats" tears its sync/atomic counters`
+}
+
+func atomicOK(s *server) int64 {
+	s.stats.hits.Add(1)
+	s.stats.misses.Store(0)
+	return s.stats.hits.Load()
+}
+
+func pointerOK(s *server) *counters {
+	return &s.stats
+}

@@ -1,0 +1,9 @@
+// Package badignore holds a malformed lint:ignore directive (analyzer list
+// but no reason); the driver must report it as a "directive" finding on the
+// directive's own line.
+package badignore
+
+func nothing() int {
+	//lint:ignore lockcheck
+	return 0
+}

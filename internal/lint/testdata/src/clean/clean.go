@@ -1,0 +1,54 @@
+// Package clean contains only conforming code — locked accesses, paired
+// unit lifecycles, atomic counter methods, asserted errors. The full suite
+// must produce zero findings here.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"godiva/internal/core"
+)
+
+type counters struct {
+	reads atomic.Int64
+}
+
+type cache struct {
+	mu    sync.Mutex
+	bytes int64 // guarded by mu
+	stats counters
+}
+
+func (c *cache) addLocked(n int64) {
+	c.bytes += n
+}
+
+func (c *cache) Add(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(n)
+	c.stats.reads.Add(1)
+}
+
+func (c *cache) Reads() int64 {
+	return c.stats.reads.Load()
+}
+
+func use(any) {}
+
+func step(db *core.DB, unit string) error {
+	if err := db.WaitUnit(unit); err != nil {
+		return err
+	}
+	buf, err := db.GetFieldBuffer("particles", "position")
+	if err != nil {
+		return err
+	}
+	use(buf)
+	return db.FinishUnit(unit)
+}
+
+func shutdown(db *core.DB) {
+	defer db.Close()
+}

@@ -1,0 +1,37 @@
+// Package errbad seeds errcheck violations: every discard form the analyzer
+// knows about, applied to the godiva core API. Every offending line carries
+// a // want comment consumed by lint_test.go.
+package errbad
+
+import "godiva/internal/core"
+
+func sink(any) {}
+
+func dropStatement(db *core.DB) {
+	db.FinishUnit("u") // want errcheck `result of DB.FinishUnit is discarded (last result is an error)`
+}
+
+func dropBlankAssign(db *core.DB) {
+	_ = db.Close() // want errcheck `error result of DB.Close is discarded with a blank assignment`
+}
+
+func dropBlankIdent(db *core.DB) {
+	buf, _ := db.GetFieldBuffer("particles", "position") // want errcheck `error result of DB.GetFieldBuffer is discarded with a blank identifier`
+	sink(buf)
+}
+
+func dropCaptured(db *core.DB) {
+	err := db.DeleteUnit("u")
+	_ = err // want errcheck `blank assignment of err has no effect`
+}
+
+func deferredCloseIsFine(db *core.DB) {
+	defer db.Close()
+}
+
+func asserted(db *core.DB) error {
+	if err := db.WaitUnit("u"); err != nil {
+		return err
+	}
+	return db.FinishUnit("u")
+}

@@ -1,0 +1,24 @@
+// Package ignored exercises the lint:ignore escape hatch: every violation
+// below carries a directive, so the package must produce zero findings.
+package ignored
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func startupRead(g *gauge) int {
+	//lint:ignore lockcheck single-threaded startup, no concurrent access yet
+	return g.v
+}
+
+func trailingForm(g *gauge) int {
+	return g.v //lint:ignore lockcheck single-threaded teardown read
+}
+
+func wildcardForm(g *gauge) int {
+	//lint:ignore all intentionally unlocked in this fixture
+	return g.v
+}

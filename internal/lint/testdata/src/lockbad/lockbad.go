@@ -1,0 +1,55 @@
+// Package lockbad seeds lockcheck violations: "guarded by" fields touched
+// without the mutex and *Locked helpers called from unlocked contexts.
+// Every offending line carries a // want comment consumed by lint_test.go.
+package lockbad
+
+import "sync"
+
+type table struct {
+	mu    sync.RWMutex
+	count int    // guarded by mu
+	name  string // unguarded: free to access anywhere
+}
+
+func (t *table) unlockedRead() int {
+	return t.count // want lockcheck `field "count" is guarded by mu but accessed without holding it`
+}
+
+func (t *table) writeUnderReadLock() {
+	t.mu.RLock()
+	t.count++ // want lockcheck `write to field "count" (guarded by mu) while holding only the read lock`
+	t.mu.RUnlock()
+}
+
+func (t *table) resetLocked() {
+	t.count = 0 // fine: *Locked functions start in the locked state
+}
+
+func (t *table) sizeRLocked() int {
+	return t.count // fine: *RLocked functions start in the read-locked state
+}
+
+func (t *table) unlockedHelperCall() {
+	t.resetLocked() // want lockcheck `call to resetLocked requires holding the lock`
+}
+
+func (t *table) unlockedReadHelperCall() int {
+	return t.sizeRLocked() // want lockcheck `call to sizeRLocked requires holding at least the read lock`
+}
+
+func (t *table) balanced() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	return t.count
+}
+
+func (t *table) snapshot() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+func (t *table) freeField() string {
+	return t.name
+}

@@ -1,0 +1,67 @@
+// Package pairbad seeds paircheck violations: unit acquisitions without a
+// matching release and a field buffer retained past the unit release.
+// Every offending line carries a // want comment consumed by lint_test.go.
+package pairbad
+
+import "godiva/internal/core"
+
+func sink(any) {}
+
+func leakUnit(db *core.DB) error {
+	if err := db.WaitUnit("step-1"); err != nil { // want paircheck `unit acquired with WaitUnit but no matching FinishUnit/DeleteUnit/Close in leakUnit`
+		return err
+	}
+	return nil
+}
+
+func mismatchedName(db *core.DB) error {
+	if err := db.ReadUnit("a", nil); err != nil { // want paircheck `unit acquired with ReadUnit but no matching FinishUnit/DeleteUnit/Close in mismatchedName`
+		return err
+	}
+	return db.FinishUnit("b")
+}
+
+func retainBuffer(db *core.DB) error {
+	if err := db.WaitUnit("u"); err != nil {
+		return err
+	}
+	buf, err := db.GetFieldBuffer("particles", "position")
+	if err != nil {
+		return err
+	}
+	if err := db.FinishUnit("u"); err != nil {
+		return err
+	}
+	sink(buf) // want paircheck `buffer "buf" from GetFieldBuffer/FieldBuffer is used after the unit release`
+	return nil
+}
+
+type readerCache struct{}
+
+func (c *readerCache) acquire(name string) error { return nil }
+func (c *readerCache) release(name string)       {}
+func (c *readerCache) closeAll()                 {}
+
+func leakReader(c *readerCache) error {
+	return c.acquire("remote.dat") // want paircheck `cached reader acquired with acquire but no matching release/closeAll in leakReader`
+}
+
+func balancedReader(c *readerCache) error {
+	if err := c.acquire("remote.dat"); err != nil {
+		return err
+	}
+	c.release("remote.dat")
+	return nil
+}
+
+func balancedUnit(db *core.DB, unit string) error {
+	if err := db.WaitUnit(unit); err != nil {
+		return err
+	}
+	buf, err := db.GetFieldBuffer("particles", "position")
+	if err != nil {
+		return err
+	}
+	sink(buf)
+	return db.FinishUnit(unit)
+}

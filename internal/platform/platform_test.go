@@ -121,7 +121,7 @@ func TestDiskSerializes(t *testing.T) {
 			wg.Wait()
 		}
 	})
-	_ = d
+	within(t, "2 serialized disk reads", d, 95*time.Millisecond, 300*time.Millisecond)
 	stats := m.Disk()
 	if stats.Bytes != 10_000_000 {
 		t.Fatalf("Disk.Bytes = %d, want 10000000", stats.Bytes)

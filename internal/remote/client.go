@@ -64,11 +64,11 @@ func (o *ClientOptions) setDefaults() {
 // alongside DB.Stats (see core.DB.RegisterStatsSource) so a run's transport
 // behavior is visible next to its unit accounting.
 type RemoteStats struct {
-	Fetches   int64         // logical fetches requested (including coalesced)
-	Coalesced int64         // fetches served by joining an identical in-flight RPC
-	RPCs      int64         // wire attempts issued (dials and round-trips)
-	Retries   int64         // attempts beyond the first, after transient failures
-	Errors    int64         // fetches that failed permanently (retries exhausted
+	Fetches   int64 // logical fetches requested (including coalesced)
+	Coalesced int64 // fetches served by joining an identical in-flight RPC
+	RPCs      int64 // wire attempts issued (dials and round-trips)
+	Retries   int64 // attempts beyond the first, after transient failures
+	Errors    int64 // fetches that failed permanently (retries exhausted
 	//                         or a non-retryable protocol error)
 	BytesIn int64         // response payload bytes received
 	Latency time.Duration // cumulative round-trip time of successful RPCs

@@ -43,7 +43,11 @@ func startServer(t *testing.T, dir string, faults remote.Faults) *remote.Server 
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.Close() })
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
 	return srv
 }
 

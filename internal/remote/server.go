@@ -118,7 +118,9 @@ func Serve(opts ServerOptions) (*Server, error) {
 		cache: newReaderCache(opts.ReaderCache),
 		conns: make(map[net.Conn]struct{}),
 	}
+	s.mu.Lock()
 	s.setFaultsLocked(opts.Faults)
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil

@@ -79,7 +79,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		db.RegisterStatsSource("remote", func() any { return cfg.Remote.Stats() })
 	}
 	if err := defineSchema(db); err != nil {
-		db.Close()
+		if cerr := db.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and close failed: %v)", err, cerr)
+		}
 		return nil, err
 	}
 	allVars := append(append([]string{}, genx.NodeVectorFields...), genx.ElemScalarFields...)

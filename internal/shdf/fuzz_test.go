@@ -3,6 +3,10 @@ package shdf
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -60,26 +64,73 @@ func exerciseAll(data []byte) {
 // seeds a valid file plus truncations and targeted header/footer mutations;
 // `go test` runs the seeds, `go test -fuzz=FuzzReader` explores further.
 func FuzzReader(f *testing.F) {
-	data, err := sampleImage()
+	seeds, err := seedInputs()
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(data)
-	for _, n := range []int{0, 4, 8, len(data) / 2, len(data) - 1} {
-		if n <= len(data) {
-			f.Add(append([]byte(nil), data[:n]...))
-		}
-	}
-	// Footer with a wild directory offset and count.
-	mut := append([]byte(nil), data...)
-	if len(mut) >= 16 {
-		binary.LittleEndian.PutUint64(mut[len(mut)-16:], ^uint64(0))
-		binary.LittleEndian.PutUint32(mut[len(mut)-8:], ^uint32(0))
-		f.Add(mut)
+	for _, s := range seeds {
+		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		exerciseAll(b)
 	})
+}
+
+// seedInputs is the checked-in seed corpus for FuzzReader: one valid image,
+// its interesting truncations, and the targeted footer/directory mutations
+// the regression tests above exercise. The same list feeds f.Add and the
+// files under testdata/fuzz/FuzzReader (see TestWriteFuzzCorpus).
+func seedInputs() ([][]byte, error) {
+	data, err := sampleImage()
+	if err != nil {
+		return nil, err
+	}
+	seeds := [][]byte{data}
+	for _, n := range []int{0, 4, 8, len(data) / 2, len(data) - 1} {
+		if n <= len(data) {
+			seeds = append(seeds, append([]byte(nil), data[:n]...))
+		}
+	}
+	if len(data) >= 16 {
+		// Footer with a wild directory offset and count.
+		mut := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(mut[len(mut)-16:], ^uint64(0))
+		binary.LittleEndian.PutUint32(mut[len(mut)-8:], ^uint32(0))
+		seeds = append(seeds, mut)
+		// First directory entry with a maximal length field.
+		off := binary.LittleEndian.Uint64(data[len(data)-16:])
+		if at := int(off) + 2 + 4 + 8; at+8 <= len(data) {
+			mut = append([]byte(nil), data...)
+			binary.LittleEndian.PutUint64(mut[at:], ^uint64(0)>>1)
+			seeds = append(seeds, mut)
+		}
+	}
+	return seeds, nil
+}
+
+// TestWriteFuzzCorpus regenerates the on-disk seed corpus. It is a no-op
+// unless SHDF_WRITE_CORPUS=1, so normal test runs never touch the tree:
+//
+//	SHDF_WRITE_CORPUS=1 go test -run TestWriteFuzzCorpus ./internal/shdf
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("SHDF_WRITE_CORPUS") == "" {
+		t.Skip("set SHDF_WRITE_CORPUS=1 to regenerate testdata/fuzz/FuzzReader")
+	}
+	seeds, err := seedInputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReader")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }
 
 // dirOffsetOf parses the footer's directory offset from a valid image.

@@ -1,25 +1,56 @@
 #!/bin/sh
-# Pre-merge verification: vet, build, the full test suite, and a
-# race-detector pass over the concurrent core (worker pool, prefetch,
-# deadlock detection). EXPERIMENTS.md cites this as the gate every change
-# must clear.
-set -eu
+# Pre-merge verification gate. EXPERIMENTS.md cites this as the gate every
+# change must clear. Stages:
+#
+#   fmt         gofmt -l finds nothing to rewrite
+#   vet         go vet over the whole module
+#   build       everything compiles
+#   lint        godiva-lint (lockcheck/paircheck/errcheck/atomiccheck)
+#               reports zero findings; non-zero findings fail the gate
+#   test        full test suite
+#   race        race-detector pass over the concurrent core and the remote
+#               unit service
+#   invariants  core suite with the godivainvariants runtime checker
+#               compiled in, under the race detector
+#   fuzz        10s FuzzReader smoke over the shdf seed corpus
+#
+# Each stage prints a one-line summary; the script stops at the first
+# failing stage and exits non-zero.
+set -u
 
 cd "$(dirname "$0")"
 
-echo "== go vet ./..."
-go vet ./...
+run_stage() {
+    name="$1"
+    shift
+    echo "== $name: $*"
+    start=$(date +%s)
+    if "$@"; then
+        echo "-- $name: ok ($(($(date +%s) - start))s)"
+    else
+        rc=$?
+        echo "-- $name: FAILED (exit $rc)"
+        exit "$rc"
+    fi
+}
 
-echo "== go build ./..."
-go build ./...
+check_gofmt() {
+    out=$(gofmt -l .)
+    if [ -n "$out" ]; then
+        echo "gofmt: the following files need formatting:" >&2
+        echo "$out" >&2
+        return 1
+    fi
+}
 
-echo "== go test ./..."
-go test ./...
-
-echo "== go test -race ./internal/core/..."
-go test -race -count=1 ./internal/core/...
-
-echo "== go test -race ./internal/remote/..."
-go test -race -count=1 ./internal/remote/...
+run_stage fmt check_gofmt
+run_stage vet go vet ./...
+run_stage build go build ./...
+run_stage lint go run ./cmd/godiva-lint -tags godivainvariants ./...
+run_stage test go test ./...
+run_stage race-core go test -race -count=1 ./internal/core/...
+run_stage race-remote go test -race -count=1 ./internal/remote/...
+run_stage invariants go test -tags godivainvariants -race -count=1 ./internal/core/...
+run_stage fuzz go test -fuzz=FuzzReader -fuzztime=10s -run '^FuzzReader$' ./internal/shdf
 
 echo "verify.sh: all checks passed"
