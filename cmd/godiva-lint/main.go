@@ -5,12 +5,16 @@
 //	go run ./cmd/godiva-lint -tags godivainvariants ./internal/core
 //
 // It prints findings as file:line:col: [analyzer] message and exits with
-// status 1 when there are findings, 2 on usage or load errors. Findings can
-// be suppressed with a //lint:ignore <analyzer> <reason> directive on or
-// directly above the offending line.
+// status 1 when there are findings, 2 on usage or load errors. With -json,
+// each finding is emitted as one JSON object per line (analyzer, file,
+// line, col, message, suppressed) for CI and editor consumption —
+// suppressed findings are included there, marked, and do not affect the
+// exit code. Findings can be suppressed with a //lint:ignore <analyzer>
+// <reason> directive on or directly above the offending line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +24,19 @@ import (
 	"godiva/internal/lint"
 )
 
+// jsonFinding is the -json wire form of one finding, one object per line.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	tags := flag.String("tags", "", "comma-separated build tags to enable (as in go build -tags)")
+	jsonOut := flag.Bool("json", false, "emit one JSON finding per line (including suppressed findings, marked)")
 	verbose := flag.Bool("v", false, "also print type-check diagnostics the analyzers tolerated")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: godiva-lint [-tags taglist] [packages]\n\nanalyzers:\n")
@@ -51,7 +66,11 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	findings, err := lint.Run(m, patterns)
+	run := lint.Run
+	if *jsonOut {
+		run = lint.RunAll
+	}
+	findings, err := run(m, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "godiva-lint: %v\n", err)
 		os.Exit(2)
@@ -67,13 +86,39 @@ func main() {
 			}
 		}
 	}
+	live := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
+		if !f.Suppressed {
+			live++
+		}
+		if *jsonOut {
+			rel := relpath(root, f.Pos.Filename)
+			enc.Encode(jsonFinding{
+				Analyzer:   f.Analyzer,
+				File:       rel,
+				Line:       f.Pos.Line,
+				Col:        f.Pos.Column,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+			continue
+		}
 		fmt.Println(relativize(root, f))
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "godiva-lint: %d finding(s)\n", len(findings))
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "godiva-lint: %d finding(s)\n", live)
 		os.Exit(1)
 	}
+}
+
+// relpath maps an absolute file path to its module-relative form when
+// possible.
+func relpath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.
@@ -96,8 +141,6 @@ func findModuleRoot() (string, error) {
 
 // relativize prints a finding with the module-relative path when possible.
 func relativize(root string, f lint.Finding) string {
-	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		f.Pos.Filename = rel
-	}
+	f.Pos.Filename = relpath(root, f.Pos.Filename)
 	return f.String()
 }

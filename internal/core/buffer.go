@@ -162,6 +162,8 @@ func (b *Buffer) encodeTo(dst []byte) []byte {
 // Strings shorter than the declared field size are zero-padded so that a
 // query value of "block_0001" matches a record whose 11-byte STRING key
 // buffer holds the same text.
+//
+//godiva:noalloc
 func encodeKeyValue(dst []byte, t DataType, size int, v any) ([]byte, error) {
 	switch t {
 	case String:

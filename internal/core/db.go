@@ -472,6 +472,8 @@ func (db *DB) dropUnitLocked(u *unit) {
 
 // getRecordRLocked answers a key-lookup query. Caller holds db.mu (read or
 // write side).
+//
+//godiva:noalloc
 func (db *DB) getRecordRLocked(recType string, keys []any) (*Record, error) {
 	if db.closed {
 		return nil, ErrClosed

@@ -160,36 +160,37 @@ func (db *DB) checkTransitionLocked(u *unit, from, to unitState) {
 // checkStatsSnapshot validates the downstream-first counter snapshot: all
 // counters non-negative and the subset chain UnitsPrefetched <= UnitsRead <=
 // UnitsAdded intact, which the lock-free snapshot ordering guarantees even
-// while counters move (stats.go).
+// while counters move (stats.go). DB.Stats is //godiva:noalloc, so the
+// checks run as a flat if-chain rather than a built-up table — the hot path
+// stays allocation-free even with invariants compiled in.
 func checkStatsSnapshot(s *Stats) {
-	for _, c := range []struct {
-		name string
-		v    int64
-	}{
-		{"RecordsCommitted", s.RecordsCommitted},
-		{"UnitsAdded", s.UnitsAdded},
-		{"UnitsRead", s.UnitsRead},
-		{"UnitsPrefetched", s.UnitsPrefetched},
-		{"UnitsFailed", s.UnitsFailed},
-		{"UnitsDeleted", s.UnitsDeleted},
-		{"UnitsEvicted", s.UnitsEvicted},
-		{"CacheHits", s.CacheHits},
-		{"Deadlocks", s.Deadlocks},
-		{"BytesLoaded", s.BytesLoaded},
-		{"PeakBytes", s.PeakBytes},
-		{"VisibleWait", int64(s.VisibleWait)},
-		{"ReadTime", int64(s.ReadTime)},
-	} {
-		if c.v < 0 {
-			invariantViolation("Stats", "counter %s is negative: %d", c.name, c.v)
-		}
-	}
+	checkCounter("RecordsCommitted", s.RecordsCommitted)
+	checkCounter("UnitsAdded", s.UnitsAdded)
+	checkCounter("UnitsRead", s.UnitsRead)
+	checkCounter("UnitsPrefetched", s.UnitsPrefetched)
+	checkCounter("UnitsFailed", s.UnitsFailed)
+	checkCounter("UnitsDeleted", s.UnitsDeleted)
+	checkCounter("UnitsEvicted", s.UnitsEvicted)
+	checkCounter("CacheHits", s.CacheHits)
+	checkCounter("Deadlocks", s.Deadlocks)
+	checkCounter("BytesLoaded", s.BytesLoaded)
+	checkCounter("PeakBytes", s.PeakBytes)
+	checkCounter("VisibleWait", int64(s.VisibleWait))
+	checkCounter("ReadTime", int64(s.ReadTime))
 	if s.UnitsPrefetched > s.UnitsRead {
 		invariantViolation("Stats", "UnitsPrefetched=%d exceeds UnitsRead=%d",
 			s.UnitsPrefetched, s.UnitsRead)
 	}
 	if s.UnitsRead > s.UnitsAdded {
 		invariantViolation("Stats", "UnitsRead=%d exceeds UnitsAdded=%d", s.UnitsRead, s.UnitsAdded)
+	}
+}
+
+// checkCounter panics if a snapshot counter went negative. Kept non-variadic
+// so healthy calls box no arguments.
+func checkCounter(name string, v int64) {
+	if v < 0 {
+		invariantViolation("Stats", "counter %s is negative: %d", name, v)
 	}
 }
 

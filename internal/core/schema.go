@@ -171,6 +171,8 @@ func (rt *recordType) keyFor(r *Record) ([]byte, error) {
 // values, which must match the key fields in number and type, appending to
 // dst. The query path passes a pooled scratch buffer (keyScratch) so a
 // fixed-size key lookup performs no allocation.
+//
+//godiva:noalloc
 func (rt *recordType) appendKeyForValues(dst []byte, values []any) ([]byte, error) {
 	if len(values) != rt.numKeys {
 		return dst, fmt.Errorf("%w: got %d key values for record type %q (want %d)",

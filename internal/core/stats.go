@@ -48,6 +48,8 @@ type statsCounters struct {
 
 // observePeak raises peakBytes to mem if mem is a new high-water mark,
 // via a compare-and-swap maximum so concurrent observers never regress it.
+//
+//godiva:noalloc
 func (c *statsCounters) observePeak(mem int64) {
 	for {
 		cur := c.peakBytes.Load()
@@ -63,6 +65,8 @@ func (c *statsCounters) observePeak(mem int64) {
 // downstream-first (a unit is counted in UnitsAdded before UnitsRead before
 // UnitsPrefetched), so cross-counter invariants like UnitsPrefetched <=
 // UnitsRead <= UnitsAdded hold in every snapshot even while counters move.
+//
+//godiva:noalloc
 func (db *DB) Stats() Stats {
 	c := &db.stats
 	var s Stats

@@ -1,0 +1,152 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const src = `package demo
+
+import "sync"
+
+type Reader interface{ ReadUnit(name string) error }
+
+type fileReader struct{ mu sync.Mutex }
+
+func (r *fileReader) ReadUnit(name string) error { return nil }
+
+type nullReader struct{}
+
+func (nullReader) ReadUnit(name string) error { return nil }
+
+func helper() {}
+
+func drive(r Reader) error {
+	helper()
+	f := helper
+	f()
+	_ = len(name())
+	_ = int64(7)
+	return r.ReadUnit(name())
+}
+
+func name() string { return "x" }
+`
+
+// load type-checks the demo source and returns the graph plus the package.
+func load(t *testing.T) (*Graph, *Package, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tp, err := cfg.Check("demo", fset, []*ast.File{af}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{
+		PkgPath: "demo",
+		Files:   []File{{Path: "demo.go", AST: af}},
+		Info:    info,
+		Types:   tp,
+	}
+	return Build([]*Package{pkg}), pkg, af
+}
+
+func TestBuildIndexesDeclarations(t *testing.T) {
+	g, _, _ := load(t)
+	for _, key := range []string{
+		"demo.helper",
+		"demo.drive",
+		"demo.name",
+		"(*demo.fileReader).ReadUnit",
+		"(demo.nullReader).ReadUnit",
+	} {
+		if g.Funcs[key] == nil {
+			t.Errorf("missing function %q in graph (have %d funcs)", key, len(g.Funcs))
+		}
+	}
+}
+
+// calls collects the call expressions inside drive, in source order.
+func driveCalls(t *testing.T, g *Graph, af *ast.File) []*ast.CallExpr {
+	t.Helper()
+	var drive *ast.FuncDecl
+	for _, d := range af.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "drive" {
+			drive = fd
+		}
+	}
+	if drive == nil {
+		t.Fatal("no drive decl")
+	}
+	var calls []*ast.CallExpr
+	ast.Inspect(drive.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	return calls
+}
+
+func TestResolveKinds(t *testing.T) {
+	g, pkg, af := load(t)
+	var (
+		static, dynamic, builtin, conv int
+		chaTargets                     []string
+	)
+	for _, c := range driveCalls(t, g, af) {
+		r := g.Resolve(pkg.Info, c)
+		switch {
+		case r.Static != nil:
+			static++
+		case len(r.CHA) > 0:
+			for _, f := range r.CHA {
+				chaTargets = append(chaTargets, f.Key)
+			}
+		case r.Builtin != "":
+			builtin++
+		case r.Conversion:
+			conv++
+		case r.Dynamic:
+			dynamic++
+		}
+	}
+	// helper() and the two name() calls resolve statically; f() is dynamic;
+	// len is a builtin; int64(7) is a conversion; r.ReadUnit dispatches by
+	// CHA to both implementations.
+	if static != 3 {
+		t.Errorf("static calls = %d, want 3", static)
+	}
+	if dynamic != 1 {
+		t.Errorf("dynamic calls = %d, want 1", dynamic)
+	}
+	if builtin != 1 {
+		t.Errorf("builtin calls = %d, want 1", builtin)
+	}
+	if conv != 1 {
+		t.Errorf("conversions = %d, want 1", conv)
+	}
+	want := []string{"(*demo.fileReader).ReadUnit", "(demo.nullReader).ReadUnit"}
+	if len(chaTargets) != len(want) {
+		t.Fatalf("CHA targets = %v, want %v", chaTargets, want)
+	}
+	for i := range want {
+		if chaTargets[i] != want[i] {
+			t.Errorf("CHA target[%d] = %q, want %q", i, chaTargets[i], want[i])
+		}
+	}
+}

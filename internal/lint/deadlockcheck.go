@@ -1,0 +1,941 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"godiva/internal/lint/callgraph"
+)
+
+// deadlockcheck is the static face of the paper's §3.3 deadlock rule. It
+// walks every function with a held-lock set, propagates lock acquisitions
+// and blocking operations interprocedurally through the call graph, and
+// reports two kinds of hazard:
+//
+//   - lock-order cycles: the whole-program graph of "acquired B while
+//     holding A" edges must be acyclic;
+//   - blocking under a lock: any channel operation, select without default,
+//     time.Sleep, WaitGroup/Cond wait, or file/network I/O reachable while
+//     a mutex is held.
+//
+// The repo's unlock-before-block idiom (reserveLocked, waitStateLocked,
+// Close) is understood: every summarized operation carries the set of lock
+// classes the callee releases before reaching it, and a caller's held lock
+// only counts if it is not in that set. Calls through function values
+// (read callbacks) are not resolved statically; the runtime invariant
+// checker covers those paths.
+var deadlockcheckAnalyzer = &moduleAnalyzer{
+	name: "deadlockcheck",
+	doc:  "lock-order cycles and blocking calls reachable while a mutex is held",
+	run:  runDeadlockcheck,
+}
+
+// dlOp is one blocking operation reachable from a function: released holds
+// the lock classes the function releases on every path before the
+// operation, so callers discount them from their held sets.
+type dlOp struct {
+	desc     string
+	pos      token.Pos
+	released map[string]bool
+}
+
+// dlAcq is one lock acquisition reachable from a function.
+type dlAcq struct {
+	class    string
+	pos      token.Pos
+	released map[string]bool
+}
+
+// dlSummary is a function's interprocedural fact set.
+type dlSummary struct {
+	ops  map[string]dlOp  // keyed by desc + released signature
+	acqs map[string]dlAcq // keyed by class + released signature
+}
+
+func newDLSummary() *dlSummary {
+	return &dlSummary{ops: make(map[string]dlOp), acqs: make(map[string]dlAcq)}
+}
+
+func (s *dlSummary) size() int { return len(s.ops) + len(s.acqs) }
+
+const dlSummaryCap = 48 // per-kind cap; keeps pathological fan-in bounded
+
+func setSig(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func (s *dlSummary) addOp(op dlOp) {
+	if len(s.ops) >= dlSummaryCap {
+		return
+	}
+	key := op.desc + "|" + setSig(op.released)
+	if _, ok := s.ops[key]; !ok {
+		s.ops[key] = op
+	}
+}
+
+func (s *dlSummary) addAcq(a dlAcq) {
+	if len(s.acqs) >= dlSummaryCap {
+		return
+	}
+	key := a.class + "|" + setSig(a.released)
+	if _, ok := s.acqs[key]; !ok {
+		s.acqs[key] = a
+	}
+}
+
+// dlEdge is one lock-order edge with its first witness position.
+type dlEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// dlChecker runs the whole analysis over one module context.
+type dlChecker struct {
+	mc        *moduleContext
+	fset      *token.FileSet
+	summaries map[string]*dlSummary
+	display   map[string]string // class key -> short display name
+
+	recording bool
+	findings  []Finding
+	reported  map[token.Pos]bool
+	edges     map[string]map[string]token.Pos
+}
+
+func runDeadlockcheck(mc *moduleContext) []Finding {
+	if len(mc.Pkgs) == 0 || mc.Pkgs[0].Fset == nil {
+		return nil
+	}
+	c := &dlChecker{
+		mc:        mc,
+		fset:      mc.Pkgs[0].Fset,
+		summaries: make(map[string]*dlSummary),
+		display:   make(map[string]string),
+		reported:  make(map[token.Pos]bool),
+		edges:     make(map[string]map[string]token.Pos),
+	}
+	// Fixpoint: summaries only grow, so iterate until the total size is
+	// stable (bounded by the per-function caps).
+	for iter := 0; iter < 12; iter++ {
+		before := c.totalSize()
+		c.pass()
+		if c.totalSize() == before {
+			break
+		}
+	}
+	c.recording = true
+	c.pass()
+	c.reportCycles()
+	return c.findings
+}
+
+func (c *dlChecker) totalSize() int {
+	n := 0
+	for _, s := range c.summaries {
+		n += s.size()
+	}
+	return n
+}
+
+// pass analyzes every function once, updating summaries (and, when
+// recording, findings and edges).
+func (c *dlChecker) pass() {
+	for _, fn := range c.graphFuncs() {
+		c.analyze(fn)
+	}
+}
+
+// graphFuncs returns the module functions in deterministic order.
+func (c *dlChecker) graphFuncs() []*callgraph.Func {
+	keys := make([]string, 0, len(c.mc.Graph.Funcs))
+	for k := range c.mc.Graph.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*callgraph.Func, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, c.mc.Graph.Funcs[k])
+	}
+	return out
+}
+
+// dlState is the walker's lock state: classes currently held, and classes
+// the function has released that it did not itself acquire afterwards
+// (discounted from caller-held sets when this function's facts propagate).
+type dlState struct {
+	held     map[string]bool
+	released map[string]bool
+}
+
+func newDLState() *dlState {
+	return &dlState{held: make(map[string]bool), released: make(map[string]bool)}
+}
+
+func (st *dlState) clone() *dlState {
+	n := newDLState()
+	for k := range st.held {
+		n.held[k] = true
+	}
+	for k := range st.released {
+		n.released[k] = true
+	}
+	return n
+}
+
+// merge intersects two states (the conservative join after a branch).
+func (st *dlState) merge(o *dlState) {
+	for k := range st.held {
+		if !o.held[k] {
+			delete(st.held, k)
+		}
+	}
+	for k := range st.released {
+		if !o.released[k] {
+			delete(st.released, k)
+		}
+	}
+}
+
+// dlWalk carries per-function walk context.
+type dlWalk struct {
+	c    *dlChecker
+	fn   *callgraph.Func
+	info *types.Info
+	sum  *dlSummary
+}
+
+func (c *dlChecker) analyze(fn *callgraph.Func) {
+	sum := c.summaries[fn.Key]
+	if sum == nil {
+		sum = newDLSummary()
+		c.summaries[fn.Key] = sum
+	}
+	w := &dlWalk{c: c, fn: fn, info: fn.Pkg.Info, sum: sum}
+	st := newDLState()
+	// The *Locked/*RLocked suffix convention: the function is entered with
+	// the receiver's mu held.
+	if class, ok := lockedEntryClass(fn); ok {
+		st.held[class] = true
+		c.noteDisplay(class)
+	}
+	w.stmts(fn.Decl.Body.List, st)
+}
+
+// lockedEntryClass maps a *Locked/*RLocked method to the lock class its
+// caller must hold: the receiver type's mutex field.
+func lockedEntryClass(fn *callgraph.Func) (string, bool) {
+	name := fn.Decl.Name.Name
+	if !strings.HasSuffix(name, "Locked") && !strings.HasSuffix(name, "RLocked") {
+		return "", false
+	}
+	if fn.Decl.Recv == nil || len(fn.Decl.Recv.List) == 0 {
+		return "", false
+	}
+	obj, ok := fn.Pkg.Info.Defs[fn.Decl.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	strct, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < strct.NumFields(); i++ {
+		f := strct.Field(i)
+		if isMutexType(f.Type()) {
+			return named.String() + "." + f.Name(), true
+		}
+	}
+	return "", false
+}
+
+func isMutexType(t types.Type) bool {
+	s := types.TypeString(t, nil)
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// stmts walks a statement list; the returned flag reports whether control
+// cannot flow past the list (return/panic/branch on every path).
+func (w *dlWalk) stmts(list []ast.Stmt, st *dlState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *dlWalk) stmt(s ast.Stmt, st *dlState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+		w.blocking("channel send", s.Arrow, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, st)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, st)
+		}
+		// The goroutine body runs on its own stack with no inherited locks.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.isolated(lit.Body)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := w.stmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			thenSt.merge(elseSt)
+			*st = *thenSt
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		// Loops are assumed lock-balanced per iteration (lockcheck enforces
+		// balance); findings inside still see the entry state.
+		body := st.clone()
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		if tv, ok := w.info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.blocking("range over channel", s.For, st)
+			}
+		}
+		body := st.clone()
+		w.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		w.caseBodies(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		w.caseBodies(s.Body, st)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blocking("select without default", s.Select, st)
+		}
+		var merged *dlState
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.clone()
+			// The comm op itself is the select's wait, not an extra
+			// blocking point: walk only its subexpressions' calls.
+			if cc.Comm != nil {
+				w.commExprs(cc.Comm, caseSt)
+			}
+			if !w.stmts(cc.Body, caseSt) {
+				if merged == nil {
+					merged = caseSt
+				} else {
+					merged.merge(caseSt)
+				}
+			}
+		}
+		if merged != nil {
+			*st = *merged
+		}
+	}
+	return false
+}
+
+// caseBodies walks switch case bodies and merges their exit states.
+func (w *dlWalk) caseBodies(body *ast.BlockStmt, st *dlState) {
+	var merged *dlState
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.expr(e, st)
+		}
+		caseSt := st.clone()
+		if !w.stmts(cc.Body, caseSt) {
+			if merged == nil {
+				merged = caseSt
+			} else {
+				merged.merge(caseSt)
+			}
+		}
+	}
+	if merged == nil {
+		return
+	}
+	if hasDefault {
+		// Every path runs a case body.
+		*st = *merged
+	} else {
+		// A non-matching value falls past the switch with the entry state.
+		st.merge(merged)
+	}
+}
+
+// commExprs walks the call subexpressions of a select communication without
+// treating the communication itself as a blocking operation.
+func (w *dlWalk) commExprs(comm ast.Stmt, st *dlState) {
+	ast.Inspect(comm, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.call(n, st)
+			return false
+		case *ast.FuncLit:
+			w.isolated(n.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// isolated walks a function body that runs on another goroutine (or at an
+// unknown later time) with a fresh lock state; facts found there do not
+// enter the current function's summary.
+func (w *dlWalk) isolated(body *ast.BlockStmt) {
+	iw := &dlWalk{c: w.c, fn: w.fn, info: w.info, sum: newDLSummary()}
+	iw.stmts(body.List, newDLState())
+}
+
+// expr walks an expression, dispatching nested calls, receives and literals.
+func (w *dlWalk) expr(e ast.Expr, st *dlState) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		// Walk the receiver chain (a().b() and friends); literals and plain
+		// identifiers are handled by call itself.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			w.expr(sel.X, st)
+		}
+		for _, a := range e.Args {
+			w.expr(a, st)
+		}
+		w.call(e, st)
+	case *ast.UnaryExpr:
+		w.expr(e.X, st)
+		if e.Op == token.ARROW {
+			w.blocking("channel receive", e.OpPos, st)
+		}
+	case *ast.FuncLit:
+		// A stored literal runs at an unknown time; analyze with no locks.
+		w.isolated(e.Body)
+	case *ast.ParenExpr:
+		w.expr(e.X, st)
+	case *ast.BinaryExpr:
+		w.expr(e.X, st)
+		w.expr(e.Y, st)
+	case *ast.StarExpr:
+		w.expr(e.X, st)
+	case *ast.SelectorExpr:
+		w.expr(e.X, st)
+	case *ast.IndexExpr:
+		w.expr(e.X, st)
+		w.expr(e.Index, st)
+	case *ast.IndexListExpr:
+		w.expr(e.X, st)
+	case *ast.SliceExpr:
+		w.expr(e.X, st)
+		w.expr(e.Low, st)
+		w.expr(e.High, st)
+		w.expr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, st)
+	}
+}
+
+// deferCall handles a deferred call: deferred mutex ops do not change the
+// current state (they run at return), a deferred literal is walked with the
+// registration-point state, and any other deferred call is treated as a
+// call at the registration point.
+func (w *dlWalk) deferCall(call *ast.CallExpr, st *dlState) {
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+	if _, _, ok := w.mutexMethod(call); ok {
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		deferred := st.clone()
+		w.stmts(lit.Body.List, deferred)
+		return
+	}
+	w.call(call, st)
+}
+
+// mutexMethod matches a call of the form x.Lock / x.Unlock / x.RLock /
+// x.RUnlock / x.TryLock on a sync.Mutex or sync.RWMutex, returning the lock
+// class of x and the method name.
+func (w *dlWalk) mutexMethod(call *ast.CallExpr) (class, method string, ok bool) {
+	sel, selOk := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOk {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	if w.info == nil {
+		return "", "", false
+	}
+	tv, tok := w.info.Types[sel.X]
+	if !tok || !isMutexType(deref(tv.Type)) {
+		return "", "", false
+	}
+	class, ok = w.lockClass(sel.X)
+	if !ok {
+		return "", "", false
+	}
+	return class, sel.Sel.Name, true
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// lockClass names the lock denoted by a mutex expression. Struct fields are
+// classed by owning named type + field name (every instance shares one
+// class — what lock-order analysis wants); package-level and local
+// variables by their object.
+func (w *dlWalk) lockClass(e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		tv, ok := w.info.Types[e.X]
+		if !ok {
+			return "", false
+		}
+		named, ok := deref(tv.Type).(*types.Named)
+		if !ok {
+			return "", false
+		}
+		class := named.String() + "." + e.Sel.Name
+		w.c.display[class] = named.Obj().Name() + "." + e.Sel.Name
+		return class, true
+	case *ast.Ident:
+		obj := w.info.ObjectOf(e)
+		if obj == nil {
+			return "", false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			class := obj.Pkg().Path() + "." + obj.Name()
+			w.c.display[class] = obj.Name()
+			return class, true
+		}
+		class := fmt.Sprintf("%s@%v", obj.Name(), w.c.fset.Position(obj.Pos()))
+		w.c.display[class] = obj.Name()
+		return class, true
+	}
+	return "", false
+}
+
+func (c *dlChecker) noteDisplay(class string) {
+	if _, ok := c.display[class]; ok {
+		return
+	}
+	short := class
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		short = class[i+1:]
+	}
+	if i := strings.Index(short, "."); i >= 0 {
+		short = short[i+1:]
+	}
+	c.display[class] = short
+}
+
+func (c *dlChecker) shortClass(class string) string {
+	if d, ok := c.display[class]; ok {
+		return d
+	}
+	return class
+}
+
+// blocking records one blocking operation at the current state: a summary
+// entry always, a finding when a lock is held.
+func (w *dlWalk) blocking(desc string, pos token.Pos, st *dlState) {
+	w.sum.addOp(dlOp{desc: desc, pos: pos, released: cloneSet(st.released)})
+	if w.c.recording {
+		for _, class := range sortedKeys(st.held) {
+			w.c.report(pos, fmt.Sprintf("%s while holding %s", desc, w.c.shortClass(class)))
+			break
+		}
+	}
+}
+
+// acquire records a lock acquisition: order edges from every held class,
+// state transition, and a summary entry.
+func (w *dlWalk) acquire(class string, pos token.Pos, st *dlState) {
+	if w.c.recording {
+		for _, held := range sortedKeys(st.held) {
+			if held != class {
+				w.c.addEdge(held, class, pos)
+			}
+		}
+	}
+	w.sum.addAcq(dlAcq{class: class, pos: pos, released: cloneSet(st.released)})
+	st.held[class] = true
+	delete(st.released, class)
+}
+
+func (w *dlWalk) release(class string, st *dlState) {
+	delete(st.held, class)
+	st.released[class] = true
+}
+
+// call applies a call's effects: mutex transitions, inlined literals,
+// summaries of module callees, and blocking classification of external
+// callees.
+func (w *dlWalk) call(call *ast.CallExpr, st *dlState) {
+	if class, method, ok := w.mutexMethod(call); ok {
+		switch method {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			w.acquire(class, call.Pos(), st)
+		case "Unlock", "RUnlock":
+			w.release(class, st)
+		}
+		return
+	}
+	res := w.c.mc.Graph.Resolve(w.info, call)
+	switch {
+	case res.Lit != nil:
+		// Immediately invoked literal: runs inline at the current state.
+		w.stmts(res.Lit.Body.List, st)
+	case res.Static != nil:
+		w.applySummary(res.Static, call, st)
+	case len(res.CHA) > 0:
+		for _, target := range res.CHA {
+			w.applySummary(target, call, st)
+		}
+		if res.Ext != nil {
+			w.applyExt(res.Ext, call, st)
+		}
+	case res.Ext != nil:
+		w.applyExt(res.Ext, call, st)
+	}
+}
+
+// applySummary folds a module callee's facts into the caller at a call
+// site: its blocking operations fire against the caller's held set (minus
+// what the callee releases first), and its acquisitions extend the caller's
+// lock-order edges.
+func (w *dlWalk) applySummary(callee *callgraph.Func, call *ast.CallExpr, st *dlState) {
+	sum := w.c.summaries[callee.Key]
+	if sum == nil {
+		return
+	}
+	reportedHere := false
+	for _, key := range sortedOpKeys(sum.ops) {
+		op := sum.ops[key]
+		merged := unionSet(st.released, op.released)
+		w.sum.addOp(dlOp{desc: op.desc, pos: call.Pos(), released: merged})
+		if w.c.recording && !reportedHere {
+			for _, class := range sortedKeys(st.held) {
+				if !op.released[class] {
+					w.c.report(call.Pos(), fmt.Sprintf("call to %s may block (%s) while holding %s",
+						callee.Name, op.desc, w.c.shortClass(class)))
+					reportedHere = true
+					break
+				}
+			}
+		}
+	}
+	for _, key := range sortedAcqKeys(sum.acqs) {
+		acq := sum.acqs[key]
+		merged := unionSet(st.released, acq.released)
+		w.sum.addAcq(dlAcq{class: acq.class, pos: call.Pos(), released: merged})
+		if w.c.recording {
+			for _, held := range sortedKeys(st.held) {
+				if held != acq.class && !acq.released[held] {
+					w.c.addEdge(held, acq.class, call.Pos())
+				}
+			}
+		}
+	}
+}
+
+// applyExt classifies an external (standard-library) callee as blocking or
+// not.
+func (w *dlWalk) applyExt(fn *types.Func, call *ast.CallExpr, st *dlState) {
+	desc, ok := blockingExt(fn)
+	if !ok {
+		return
+	}
+	w.blocking(desc, call.Pos(), st)
+}
+
+// blockingExt classifies standard-library callees that can block the
+// calling goroutine: sleeps, waits, and file/network I/O. Close methods
+// are deliberately not classified (closing a connection or file does not
+// wait for peers).
+func blockingExt(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	path, name := pkg.Path(), fn.Name()
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv = types.TypeString(deref(sig.Recv().Type()), nil)
+	}
+	in := func(set ...string) bool {
+		for _, s := range set {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case path == "time" && recv == "" && name == "Sleep":
+		return "time.Sleep", true
+	case recv == "sync.WaitGroup" && name == "Wait":
+		return "sync.WaitGroup.Wait", true
+	case recv == "sync.Cond" && name == "Wait":
+		return "sync.Cond.Wait", true
+	case path == "os" && recv == "" && in("Open", "OpenFile", "Create", "ReadFile", "WriteFile", "ReadDir", "Remove", "RemoveAll", "Rename", "Stat", "Mkdir", "MkdirAll"):
+		return "file I/O (os." + name + ")", true
+	case recv == "os.File" && in("Read", "ReadAt", "Write", "WriteAt", "WriteString", "ReadFrom", "WriteTo", "Seek", "Sync", "Truncate", "Stat"):
+		return "file I/O (os.File." + name + ")", true
+	case path == "net" && recv == "" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")):
+		return "network I/O (net." + name + ")", true
+	case path == "net" && recv != "" && in("Read", "Write", "Accept", "ReadFrom", "WriteTo"):
+		return "network I/O (" + recv + "." + name + ")", true
+	case path == "io" && recv == "" && in("ReadFull", "ReadAll", "ReadAtLeast", "Copy", "CopyN", "CopyBuffer", "WriteString"):
+		return "I/O (io." + name + ")", true
+	case path == "io" && recv != "" && in("Read", "Write"):
+		return "I/O (" + recv + "." + name + ")", true
+	case strings.HasPrefix(recv, "bufio.") && in("Read", "ReadByte", "ReadBytes", "ReadString", "ReadRune", "Write", "WriteByte", "WriteString", "WriteRune", "Flush", "Peek"):
+		return "I/O (" + recv + "." + name + ")", true
+	}
+	return "", false
+}
+
+func (c *dlChecker) report(pos token.Pos, msg string) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.findings = append(c.findings, Finding{
+		Pos:      c.fset.Position(pos),
+		Analyzer: "deadlockcheck",
+		Message:  msg,
+	})
+}
+
+func (c *dlChecker) addEdge(from, to string, pos token.Pos) {
+	tos := c.edges[from]
+	if tos == nil {
+		tos = make(map[string]token.Pos)
+		c.edges[from] = tos
+	}
+	if _, ok := tos[to]; !ok {
+		tos[to] = pos
+	}
+}
+
+// reportCycles reports every lock-order edge that participates in a cycle,
+// at the edge's witness position, with the full cycle path spelled out.
+func (c *dlChecker) reportCycles() {
+	for _, from := range sortedEdgeKeys(c.edges) {
+		tos := c.edges[from]
+		for _, to := range sortedPosKeys(tos) {
+			if path := c.findPath(to, from); path != nil {
+				cycle := append([]string{from}, path...)
+				parts := make([]string, len(cycle))
+				for i, cl := range cycle {
+					parts[i] = c.shortClass(cl)
+				}
+				c.report(tos[to], fmt.Sprintf(
+					"acquiring %s while holding %s completes a lock-order cycle: %s",
+					c.shortClass(to), c.shortClass(from), strings.Join(parts, " -> ")))
+			}
+		}
+	}
+}
+
+// findPath returns a path of classes from -> ... -> to along order edges,
+// or nil.
+func (c *dlChecker) findPath(from, to string) []string {
+	seen := map[string]bool{from: true}
+	var dfs func(cur string, path []string) []string
+	dfs = func(cur string, path []string) []string {
+		if cur == to {
+			return append(path, cur)
+		}
+		for _, next := range sortedPosKeys(c.edges[cur]) {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			if p := dfs(next, append(path, cur)); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	return dfs(from, nil)
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func unionSet(a, b map[string]bool) map[string]bool {
+	out := cloneSet(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func sortedKeys(s map[string]bool) []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedOpKeys(m map[string]dlOp) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedAcqKeys(m map[string]dlAcq) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedEdgeKeys(m map[string]map[string]token.Pos) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedPosKeys(m map[string]token.Pos) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -14,6 +14,22 @@
 //   - atomiccheck: statsCounters-style atomic fields are only accessed
 //     through atomic methods, never by plain reads/writes or struct copies.
 //
+// On top of the per-package suite, three interprocedural analyzers walk a
+// class-hierarchy-analysis call graph (internal/lint/callgraph) spanning
+// every package of a run, propagating held-lock sets, goroutine launches
+// and may-allocate facts across calls:
+//
+//   - deadlockcheck: builds the whole-program lock-order graph and reports
+//     any cycle, plus any channel operation, file/network I/O, time.Sleep,
+//     WaitGroup.Wait or Cond.Wait reachable while a mutex is held (the
+//     static face of the paper's §3.3 deadlock rule).
+//   - leakcheck: every go statement launching a non-terminating goroutine
+//     must have a reachable shutdown path — a stop channel that is closed,
+//     a context cancel, or a WaitGroup join.
+//   - alloccheck: functions annotated //godiva:noalloc must stay
+//     allocation-free on their hot path (error-returning branches are
+//     exempt), transitively through module calls.
+//
 // Findings can be suppressed with a "//lint:ignore <analyzer> <reason>"
 // directive on the offending line or the line directly above it.
 package lint
@@ -25,13 +41,18 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"godiva/internal/lint/callgraph"
 )
 
-// Finding is one analyzer hit.
+// Finding is one analyzer hit. Suppressed marks findings covered by a
+// lint:ignore directive; Run drops them, RunAll keeps them marked (the CLI's
+// -json mode reports them for editor tooling).
 type Finding struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -90,11 +111,65 @@ var analyzers = []*analyzer{
 	atomiccheckAnalyzer,
 }
 
+// A moduleAnalyzer inspects every package of a run at once, through the
+// shared call graph, so facts propagate across package boundaries.
+type moduleAnalyzer struct {
+	name string
+	doc  string
+	run  func(mc *moduleContext) []Finding
+}
+
+// moduleAnalyzers is the interprocedural suite, in reporting order.
+var moduleAnalyzers = []*moduleAnalyzer{
+	deadlockcheckAnalyzer,
+	leakcheckAnalyzer,
+	alloccheckAnalyzer,
+}
+
+// moduleContext is the shared state handed to module analyzers: the loaded
+// packages plus one call graph built over their production files.
+type moduleContext struct {
+	Pkgs  []*Package
+	Graph *callgraph.Graph
+	// CG maps each lint package to its call-graph counterpart.
+	CG map[*Package]*callgraph.Package
+}
+
+// newModuleContext builds the call graph over the production (non-test)
+// files of the given packages.
+func newModuleContext(pkgs []*Package) *moduleContext {
+	mc := &moduleContext{Pkgs: pkgs, CG: make(map[*Package]*callgraph.Package)}
+	var cgpkgs []*callgraph.Package
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		cp := &callgraph.Package{
+			PkgPath: p.ImportPath,
+			Info:    p.Info,
+			Types:   p.Types,
+		}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			cp.Files = append(cp.Files, callgraph.File{Path: f.Path, AST: f.AST})
+		}
+		mc.CG[p] = cp
+		cgpkgs = append(cgpkgs, cp)
+	}
+	mc.Graph = callgraph.Build(cgpkgs)
+	return mc
+}
+
 // AnalyzerDocs returns "name: doc" lines for -help output.
 func AnalyzerDocs() []string {
 	var out []string
 	for _, a := range analyzers {
-		out = append(out, fmt.Sprintf("%-12s %s", a.name, a.doc))
+		out = append(out, fmt.Sprintf("%-14s %s", a.name, a.doc))
+	}
+	for _, a := range moduleAnalyzers {
+		out = append(out, fmt.Sprintf("%-14s %s", a.name, a.doc))
 	}
 	return out
 }
@@ -105,60 +180,96 @@ func AnalyzerDocs() []string {
 // not stop it (mirroring go vet's behavior on broken trees they would fail
 // the build stage first anyway).
 func Run(m *Module, patterns []string) ([]Finding, error) {
+	all, err := RunAll(m, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return dropSuppressed(all), nil
+}
+
+// RunAll is Run without the suppression filter: findings covered by a
+// lint:ignore directive are returned with Suppressed set instead of being
+// dropped, so tooling (the CLI's -json mode) can surface them.
+func RunAll(m *Module, patterns []string) ([]Finding, error) {
 	dirs, err := m.ExpandPatterns(patterns)
 	if err != nil {
 		return nil, err
 	}
-	var all []Finding
+	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := m.LintPackage(dir)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, RunPackage(pkg)...)
+		pkgs = append(pkgs, pkg)
 	}
-	sortFindings(all)
-	return all, nil
+	return runPackages(pkgs), nil
 }
 
-// RunPackage applies every analyzer to one loaded package, dropping
-// findings suppressed by lint:ignore directives. Malformed directives are
-// themselves findings.
+// RunPackage applies the full suite (including the module analyzers, on a
+// single-package graph) to one loaded package, dropping findings suppressed
+// by lint:ignore directives. Malformed directives are themselves findings.
 func RunPackage(p *Package) []Finding {
+	return dropSuppressed(runPackages([]*Package{p}))
+}
+
+// runPackages runs the per-package and module analyzers over the given
+// packages and marks suppressed findings.
+func runPackages(pkgs []*Package) []Finding {
 	var out []Finding
-	for _, f := range p.Files {
-		for line, names := range f.Ignores {
-			if len(names) == 0 {
-				out = append(out, Finding{
-					Pos:      token.Position{Filename: f.Path, Line: line, Column: 1},
-					Analyzer: "directive",
-					Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
-				})
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for line, names := range f.Ignores {
+				if len(names) == 0 {
+					out = append(out, Finding{
+						Pos:      token.Position{Filename: f.Path, Line: line, Column: 1},
+						Analyzer: "directive",
+						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+				}
 			}
+		}
+		for _, a := range analyzers {
+			out = append(out, a.run(p)...)
 		}
 	}
-	for _, a := range analyzers {
-		for _, f := range a.run(p) {
-			if !suppressed(p, f) {
-				out = append(out, f)
-			}
+	mc := newModuleContext(pkgs)
+	for _, a := range moduleAnalyzers {
+		out = append(out, a.run(mc)...)
+	}
+	files := make(map[string]*File)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			files[f.Path] = f
 		}
+	}
+	for i := range out {
+		out[i].Suppressed = out[i].Analyzer != "directive" && suppressedIn(files, out[i])
 	}
 	sortFindings(out)
 	return out
 }
 
-// suppressed reports whether a lint:ignore directive in the finding's file
-// covers the finding's line for its analyzer.
-func suppressed(p *Package, f Finding) bool {
-	for _, file := range p.Files {
-		if file.Path != f.Pos.Filename {
-			continue
+func dropSuppressed(fs []Finding) []Finding {
+	out := fs[:0]
+	for _, f := range fs {
+		if !f.Suppressed {
+			out = append(out, f)
 		}
-		for _, name := range file.Ignores[f.Pos.Line] {
-			if name == "all" || name == f.Analyzer {
-				return true
-			}
+	}
+	return out
+}
+
+// suppressedIn reports whether a lint:ignore directive in the finding's file
+// covers the finding's line for its analyzer.
+func suppressedIn(files map[string]*File, f Finding) bool {
+	file := files[f.Pos.Filename]
+	if file == nil {
+		return false
+	}
+	for _, name := range file.Ignores[f.Pos.Line] {
+		if name == "all" || name == f.Analyzer {
+			return true
 		}
 	}
 	return false

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
@@ -98,7 +99,7 @@ func (w expectation) matches(f Finding) bool {
 // the findings its // want comments declare: every want is hit, and every
 // finding is wanted (no false positives inside the fixture either).
 func TestSeededViolations(t *testing.T) {
-	for _, name := range []string{"lockbad", "pairbad", "errbad", "atomicbad"} {
+	for _, name := range []string{"lockbad", "pairbad", "errbad", "atomicbad", "deadlockbad", "leakbad", "allocbad"} {
 		t.Run(name, func(t *testing.T) {
 			wants := parseWants(t, name)
 			if len(wants) == 0 {
@@ -221,5 +222,56 @@ func TestCLIExitCodes(t *testing.T) {
 	}
 	if code := run("./internal/lint/testdata/src/clean"); code != 0 {
 		t.Errorf("lint on clean fixture exited %d, want 0", code)
+	}
+}
+
+// TestCLIJSON runs the binary in -json mode over a seeded fixture and
+// checks the one-finding-per-line contract: every line parses, carries the
+// analyzer/pos/message/suppressed fields, and the exit code still signals
+// the findings.
+func TestCLIJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run in -short mode")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/godiva-lint", "-json", "./internal/lint/testdata/src/deadlockbad")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 with findings, got err=%v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON lines emitted")
+	}
+	sawDeadlock := false
+	for _, line := range lines {
+		var f struct {
+			Analyzer   string `json:"analyzer"`
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Col        int    `json:"col"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %q", line)
+		}
+		if f.Suppressed {
+			t.Errorf("unexpected suppressed finding in fixture: %q", line)
+		}
+		if f.Analyzer == "deadlockcheck" {
+			sawDeadlock = true
+		}
+	}
+	if !sawDeadlock {
+		t.Errorf("no deadlockcheck finding among %d JSON lines", len(lines))
 	}
 }

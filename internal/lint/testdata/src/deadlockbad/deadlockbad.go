@@ -1,0 +1,67 @@
+// Package deadlockbad seeds deliberate §3.3 deadlock hazards for the
+// deadlockcheck analyzer: a two-lock order cycle, direct blocking
+// operations under a mutex, and a blocking call reached interprocedurally
+// while a lock is held. The conforming shapes (unlock-before-block) appear
+// too and must stay silent.
+package deadlockbad
+
+import (
+	"sync"
+	"time"
+)
+
+type pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+}
+
+// lockAB establishes the order a -> b ...
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want deadlockcheck `completes a lock-order cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// ... while lockBA establishes b -> a, closing the cycle.
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want deadlockcheck `completes a lock-order cycle`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+func (p *pair) sleepUnderLock() {
+	p.a.Lock()
+	time.Sleep(time.Millisecond) // want deadlockcheck `time.Sleep while holding`
+	p.a.Unlock()
+}
+
+func (p *pair) recvUnderLock() {
+	p.a.Lock()
+	<-p.ch // want deadlockcheck `channel receive while holding`
+	p.a.Unlock()
+}
+
+// slowHelper blocks but takes no lock itself: silent here ...
+func (p *pair) slowHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+// ... and flagged at the call site that reaches it with a lock held.
+func (p *pair) callsHelperUnderLock() {
+	p.a.Lock()
+	p.slowHelper() // want deadlockcheck `may block`
+	p.a.Unlock()
+}
+
+// unlockBeforeBlock is the conforming idiom (reserveLocked's shape): the
+// lock is dropped before the wait, so nothing is reported.
+func (p *pair) unlockBeforeBlock() {
+	p.a.Lock()
+	p.a.Unlock()
+	<-p.ch
+	p.a.Lock()
+	p.a.Unlock()
+}

@@ -1,0 +1,58 @@
+// Package leakbad seeds goroutine leaks for the leakcheck analyzer:
+// worker loops launched with no stop channel, context cancel, or WaitGroup
+// join. The conforming launches (stop channel that is closed, terminating
+// body) must stay silent.
+package leakbad
+
+type srv struct {
+	stop chan struct{}
+}
+
+func work() {}
+
+// spin loops forever with no exit signal; launching it leaks.
+func spin() {
+	for {
+		work()
+	}
+}
+
+func (s *srv) runLeaky() {
+	go func() { // want leakcheck `no reachable shutdown path`
+		for {
+			work()
+		}
+	}()
+}
+
+func launchNamed() {
+	go spin() // want leakcheck `no reachable shutdown path`
+}
+
+// runStopped is the conforming shape: the loop selects on a stop channel
+// that Close closes.
+func (s *srv) runStopped() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func (s *srv) Close() {
+	close(s.stop)
+}
+
+// launchTerminating needs no shutdown path: the body runs to completion.
+func launchTerminating(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,63 @@
+package platform
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentMachineCounters hammers the diskMu and statMu paths from
+// many goroutines at a tiny time scale — disk reads and opens (which sleep
+// while holding diskMu, modeling the serialized spindle), compute (statMu
+// via addCPUBusy), and the Disk/CPUBusy snapshot methods — with a Load
+// spinner running throughout. Run under -race (verify.sh race-platform
+// stage) it checks the mutexes actually cover every counter access; the
+// final totals check that no update was lost.
+func TestConcurrentMachineCounters(t *testing.T) {
+	const (
+		workers   = 8
+		iters     = 25
+		readBytes = 512
+	)
+	m := New(Engle, 0.0005)
+	stop := m.Load()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.DiskRead(readBytes, 1)
+				m.DiskOpen()
+				m.Compute(50 * time.Microsecond)
+				m.Decode(1000)
+				if ds := m.Disk(); ds.Bytes < 0 {
+					t.Error("negative disk bytes")
+				}
+				if m.CPUBusy() < 0 {
+					t.Error("negative cpu busy")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stop()
+
+	ds := m.Disk()
+	const ops = workers * iters
+	if got, want := ds.Bytes, int64(ops*readBytes); got != want {
+		t.Errorf("disk bytes = %d, want %d", got, want)
+	}
+	if got, want := ds.Seeks, int64(ops); got != want {
+		t.Errorf("disk seeks = %d, want %d", got, want)
+	}
+	if got, want := ds.Opens, int64(ops); got != want {
+		t.Errorf("disk opens = %d, want %d", got, want)
+	}
+	if ds.Busy <= 0 {
+		t.Errorf("disk busy = %v, want > 0", ds.Busy)
+	}
+	if m.CPUBusy() <= 0 {
+		t.Errorf("cpu busy = %v, want > 0", m.CPUBusy())
+	}
+}

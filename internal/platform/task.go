@@ -124,6 +124,8 @@ func (t *Task) payDisk() {
 	debt := t.diskDebt
 	t.diskDebt = 0
 	t.m.diskMu.Lock()
+	// lint:ignore deadlockcheck sleeping under diskMu models the serialized
+	// disk (see Machine.DiskRead); diskMu is a leaf in the lock order.
 	t.m.sleepVirtual(debt)
 	t.m.diskMu.Unlock()
 }

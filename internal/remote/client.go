@@ -113,6 +113,8 @@ func NewClient(opts ClientOptions) *Client {
 }
 
 // Stats returns a snapshot of the client counters.
+//
+//godiva:noalloc
 func (c *Client) Stats() RemoteStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

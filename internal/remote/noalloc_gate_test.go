@@ -1,0 +1,29 @@
+// AllocsPerRun gates for this package's //godiva:noalloc functions (see
+// internal/noalloctest). Excluded under -race, whose instrumented runtime
+// makes allocation counts meaningless.
+
+//go:build !race
+
+package remote
+
+import (
+	"testing"
+
+	"godiva/internal/noalloctest"
+)
+
+func TestNoAllocGates(t *testing.T) {
+	// Stats never touches the wire, so the unreachable address is fine:
+	// connections are dialed lazily.
+	c := NewClient(ClientOptions{Addr: "127.0.0.1:1"})
+	defer c.Close()
+	var s RemoteStats
+	noalloctest.Check(t, ".", map[string]func(){
+		"Client.Stats": func() {
+			s = c.Stats()
+		},
+	})
+	if s.RPCs != 0 {
+		t.Errorf("idle client reported %d RPCs, want 0", s.RPCs)
+	}
+}

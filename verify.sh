@@ -5,24 +5,44 @@
 #   fmt         gofmt -l finds nothing to rewrite
 #   vet         go vet over the whole module
 #   build       everything compiles
-#   lint        godiva-lint (lockcheck/paircheck/errcheck/atomiccheck)
+#   lint        godiva-lint (lockcheck/paircheck/errcheck/atomiccheck plus
+#               the interprocedural deadlockcheck/leakcheck/alloccheck)
 #               reports zero findings; non-zero findings fail the gate
-#   test        full test suite
-#   race        race-detector pass over the concurrent core and the remote
-#               unit service
+#   test        full test suite, caching disabled (-count=1) so the noalloc
+#               AllocsPerRun gates re-measure on every run
+#   race-core   race-detector pass over the concurrent core
+#   race-remote race-detector pass over the remote unit service
+#   race-platform race-detector pass over the virtual-machine model
 #   invariants  core suite with the godivainvariants runtime checker
 #               compiled in, under the race detector
-#   fuzz        10s FuzzReader smoke over the shdf seed corpus
+#   fuzz        FuzzReader smoke over the shdf seed corpus (duration from
+#               VERIFY_FUZZTIME, default 10s)
 #
 # Each stage prints a one-line summary; the script stops at the first
-# failing stage and exits non-zero.
+# failing stage and exits non-zero. Run a single stage with
+# `./verify.sh -stage <name>` (e.g. `./verify.sh -stage lint`).
 set -u
 
 cd "$(dirname "$0")"
 
+only_stage=""
+if [ "${1:-}" = "-stage" ]; then
+    if [ -z "${2:-}" ]; then
+        echo "verify.sh: -stage requires a stage name" >&2
+        exit 2
+    fi
+    only_stage="$2"
+fi
+
+stage_seen=0
+
 run_stage() {
     name="$1"
     shift
+    if [ -n "$only_stage" ] && [ "$name" != "$only_stage" ]; then
+        return 0
+    fi
+    stage_seen=1
     echo "== $name: $*"
     start=$(date +%s)
     if "$@"; then
@@ -47,10 +67,20 @@ run_stage fmt check_gofmt
 run_stage vet go vet ./...
 run_stage build go build ./...
 run_stage lint go run ./cmd/godiva-lint -tags godivainvariants ./...
-run_stage test go test ./...
+run_stage test go test -count=1 ./...
 run_stage race-core go test -race -count=1 ./internal/core/...
 run_stage race-remote go test -race -count=1 ./internal/remote/...
+run_stage race-platform go test -race -count=1 ./internal/platform/...
 run_stage invariants go test -tags godivainvariants -race -count=1 ./internal/core/...
-run_stage fuzz go test -fuzz=FuzzReader -fuzztime=10s -run '^FuzzReader$' ./internal/shdf
+run_stage fuzz go test -fuzz=FuzzReader -fuzztime="${VERIFY_FUZZTIME:-10s}" -run '^FuzzReader$' ./internal/shdf
 
-echo "verify.sh: all checks passed"
+if [ -n "$only_stage" ]; then
+    if [ "$stage_seen" -eq 0 ]; then
+        echo "verify.sh: unknown stage \"$only_stage\"" >&2
+        echo "stages: fmt vet build lint test race-core race-remote race-platform invariants fuzz" >&2
+        exit 2
+    fi
+    echo "verify.sh: stage $only_stage passed"
+else
+    echo "verify.sh: all checks passed"
+fi
