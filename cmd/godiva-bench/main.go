@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	godiva-bench [-fig 3a|3b|par|ablate|workers|remote|lock|all] [-reps 5] [-snapshots 32]
+//	godiva-bench [-fig 3a|3b|par|ablate|workers|remote|lock|zerocopy|all] [-reps 5] [-snapshots 32]
 //	             [-data DIR] [-timescale 0.05] [-quick] [-json BENCH_remote.json]
-//	             [-lockjson BENCH_lock.json] [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
+//	             [-lockjson BENCH_lock.json] [-zerojson BENCH_zerocopy.json]
+//	             [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // -quick shrinks the run (1 rep, 6 snapshots, faster clock) for a smoke
 // pass; the defaults reproduce the full experiment in a few minutes.
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "experiment: 3a, 3b, par, ablate, workers, remote or all")
+		fig       = flag.String("fig", "all", "experiment: 3a, 3b, par, ablate, workers, remote, lock, zerocopy or all")
 		reps      = flag.Int("reps", 0, "repetitions per configuration (0 = default)")
 		snapshots = flag.Int("snapshots", 0, "snapshots per run (0 = all 32)")
 		data      = flag.String("data", "godiva-bench-data", "dataset directory (generated on demand)")
@@ -41,6 +42,7 @@ func main() {
 		procs     = flag.Int("procs", 4, "process count for the parallel experiment")
 		jsonOut   = flag.String("json", "BENCH_remote.json", "remote-sweep JSON artifact path (empty = no file)")
 		lockOut   = flag.String("lockjson", "BENCH_lock.json", "lock-sweep JSON artifact path (empty = no file)")
+		zeroOut   = flag.String("zerojson", "BENCH_zerocopy.json", "zero-copy-sweep JSON artifact path (empty = no file)")
 		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
 		blockProf = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
@@ -77,8 +79,9 @@ func main() {
 	runWrk := *fig == "workers" || *fig == "all"
 	runRem := *fig == "remote" || *fig == "all"
 	runLck := *fig == "lock" || *fig == "all"
-	if !run3a && !run3b && !runPar && !runAbl && !runWrk && !runRem && !runLck {
-		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers, remote, lock or all)\n", *fig)
+	runZC := *fig == "zerocopy" || *fig == "all"
+	if !run3a && !run3b && !runPar && !runAbl && !runWrk && !runRem && !runLck && !runZC {
+		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers, remote, lock, zerocopy or all)\n", *fig)
 		os.Exit(2)
 	}
 
@@ -165,11 +168,21 @@ func main() {
 	}
 	if runLck {
 		fmt.Println("== Lock sweep: query throughput under unit churn (decomposed DB lock) ==")
-		lcfg := experiments.LockSweepConfig{Dir: *data + "-remote", Remote: true, Log: s.Log}
+		// The full sweep runs every cell at GOMAXPROCS 1, 2, 4 and 8 so the
+		// committed BENCH_lock.json shows how the decomposed lock behaves
+		// with real (or oversubscribed — see EXPERIMENTS.md) parallelism,
+		// not just the serialized procs=1 schedule.
+		lcfg := experiments.LockSweepConfig{
+			Dir:    *data + "-remote",
+			Remote: true,
+			Procs:  []int{1, 2, 4, 8},
+			Log:    s.Log,
+		}
 		if *quick {
 			lcfg.Spec = genx.Scaled(8)
 			lcfg.Readers = []int{1, 4}
 			lcfg.Workers = []int{1}
+			lcfg.Procs = []int{1, 2}
 			lcfg.Duration = 100 * time.Millisecond
 		}
 		cells, err := experiments.RunLockSweep(lcfg)
@@ -182,6 +195,27 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("\nwrote %s\n", *lockOut)
+		}
+		fmt.Println()
+	}
+	if runZC {
+		fmt.Println("== Zero-copy sweep: bytes copied per unit by read path (copy vs mmap vs remote) ==")
+		zcfg := experiments.ZeroCopySweepConfig{Dir: *data + "-zerocopy", Log: s.Log}
+		if *quick {
+			zcfg.Spec = genx.Scaled(32)
+			zcfg.Workers = []int{1}
+			zcfg.Duration = 100 * time.Millisecond
+		}
+		cells, err := experiments.RunZeroCopySweep(zcfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintZeroCopySweep(os.Stdout, cells)
+		if *zeroOut != "" {
+			if err := experiments.WriteZeroCopyJSON(*zeroOut, cells); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nwrote %s\n", *zeroOut)
 		}
 	}
 }

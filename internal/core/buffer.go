@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"godiva/internal/zerocopy"
 )
 
 // Buffer is one field data buffer: a typed, contiguous piece of user data
@@ -21,6 +23,13 @@ type Buffer struct {
 	i64 []int64
 	f32 []float32
 	f64 []float64
+
+	// borrowed marks a buffer whose memory was donated by a read function
+	// (Record.BorrowFieldBuffer) instead of allocated by newBuffer. Borrowed
+	// buffers are read-only — SetString and other mutating accessors refuse
+	// them — and alias memory (e.g. an mmap'd file) whose validity the donor
+	// ties to the owning unit's lifetime.
+	borrowed bool
 }
 
 func newBuffer(t DataType, size int) (*Buffer, error) {
@@ -52,8 +61,85 @@ func newBuffer(t DataType, size int) (*Buffer, error) {
 	return b, nil
 }
 
+// newBorrowedBuffer wraps donated bytes as a typed buffer without copying
+// when the host and alignment allow, falling back to an allocate-and-copy
+// decode otherwise. aliased reports which happened: when true, the buffer's
+// typed slice shares memory with data and the buffer is marked borrowed
+// (read-only); when false, the buffer owns a private copy and behaves like
+// any allocated buffer.
+func newBorrowedBuffer(t DataType, data []byte) (b *Buffer, aliased bool, err error) {
+	es := t.ElemSize()
+	if es == 0 {
+		return nil, false, fmt.Errorf("%w: %v", ErrTypeMismatch, t)
+	}
+	if len(data)%es != 0 {
+		return nil, false, fmt.Errorf("%w: %d bytes is not a multiple of %v element size %d",
+			ErrBadSize, len(data), t, es)
+	}
+	b = &Buffer{dtype: t, size: len(data)}
+	switch t {
+	case String, Bytes:
+		b.raw = data
+		b.borrowed = true
+		return b, true, nil
+	case Int32:
+		if v, ok := zerocopy.I32s(data); ok {
+			b.i32 = v
+			b.borrowed = true
+			return b, true, nil
+		}
+	case Int64:
+		if v, ok := zerocopy.I64s(data); ok {
+			b.i64 = v
+			b.borrowed = true
+			return b, true, nil
+		}
+	case Float32:
+		if v, ok := zerocopy.F32s(data); ok {
+			b.f32 = v
+			b.borrowed = true
+			return b, true, nil
+		}
+	case Float64:
+		if v, ok := zerocopy.F64s(data); ok {
+			b.f64 = v
+			b.borrowed = true
+			return b, true, nil
+		}
+	}
+	b, err = newBuffer(t, len(data))
+	if err != nil {
+		return nil, false, err
+	}
+	n := len(data) / es
+	switch t {
+	case Int32:
+		for i := 0; i < n; i++ {
+			b.i32[i] = int32(binary.LittleEndian.Uint32(data[i*4:]))
+		}
+	case Int64:
+		for i := 0; i < n; i++ {
+			b.i64[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+	case Float32:
+		for i := 0; i < n; i++ {
+			b.f32[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+		}
+	case Float64:
+		for i := 0; i < n; i++ {
+			b.f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+	}
+	return b, false, nil
+}
+
 // Type returns the buffer's element type.
 func (b *Buffer) Type() DataType { return b.dtype }
+
+// Borrowed reports whether the buffer's memory was donated by a read
+// function rather than allocated by the database. Borrowed buffers are
+// read-only.
+func (b *Buffer) Borrowed() bool { return b.borrowed }
 
 // Size returns the buffer size in bytes, the same quantity the paper's
 // getFieldBufferSize interface reports.
@@ -107,6 +193,9 @@ func (b *Buffer) Float64s() ([]float64, error) {
 func (b *Buffer) SetString(s string) error {
 	if b.dtype != String {
 		return fmt.Errorf("%w: buffer is %v, not STRING", ErrTypeMismatch, b.dtype)
+	}
+	if b.borrowed {
+		return fmt.Errorf("%w: SetString on donated field memory", ErrBorrowed)
 	}
 	if len(s) > len(b.raw) {
 		return fmt.Errorf("%w: string of %d bytes into %d-byte buffer", ErrBadSize, len(s), len(b.raw))
@@ -228,12 +317,25 @@ func toInt64(v any) (int64, bool) {
 	return 0, false
 }
 
+// toFloat64 converts query-supplied key values for FLOAT/DOUBLE key fields.
+// Integer values are accepted when float64 represents them exactly, so
+// Query(..., 3) matches a key committed as 3.0 — the same leniency toInt64
+// has always given integer fields. Inexact integers (beyond 2^53) are
+// rejected rather than silently rounded to a key that matches nothing.
 func toFloat64(v any) (float64, bool) {
 	switch f := v.(type) {
 	case float32:
 		return float64(f), true
 	case float64:
 		return f, true
+	case int:
+		g := float64(f)
+		return g, int(g) == f
+	case int32:
+		return float64(f), true
+	case int64:
+		g := float64(f)
+		return g, int64(g) == f
 	}
 	return 0, false
 }

@@ -461,6 +461,13 @@ func (db *DB) dropUnitLocked(u *unit) {
 	u.records = nil
 	u.memory = 0
 	u.state = stateDeleted
+	// Run the unit's release hooks now that no buffer references its donated
+	// memory. They run under db.mu by contract (Unit.OnRelease): prompt,
+	// non-reentrant cleanup only.
+	for _, fn := range u.releasers {
+		fn()
+	}
+	u.releasers = nil
 	db.notifyUnitLocked(u)
 	delete(db.units, u.name)
 	// Dropping a unit can change the §3.3 verdict without releasing a byte —

@@ -55,6 +55,11 @@ func (db *DB) checkInvariantsLocked(where string) {
 		var um int64
 		for _, r := range u.records {
 			um += r.memory
+			for _, b := range r.buffers {
+				if b != nil && b.borrowed && r.unit != u {
+					invariantViolation(where, "unit %q holds a borrowed buffer on a record owned elsewhere", u.name)
+				}
+			}
 		}
 		if um != u.memory {
 			invariantViolation(where, "unit %q charges %d bytes but its records sum to %d",
@@ -75,6 +80,14 @@ func (db *DB) checkInvariantsLocked(where string) {
 		if r.memory < 0 {
 			invariantViolation(where, "resident record of type %q has negative memory %d",
 				r.rt.name, r.memory)
+		}
+		// Borrowed memory is unit-scoped: a resident record holding a
+		// borrowed buffer would let the donation outlive every unit lifetime
+		// bound (the FinishUnit/eviction contract in DESIGN.md).
+		for _, b := range r.buffers {
+			if b != nil && b.borrowed {
+				invariantViolation(where, "resident record of type %q holds a borrowed buffer", r.rt.name)
+			}
 		}
 		total += r.memory
 	}
@@ -174,6 +187,7 @@ func checkStatsSnapshot(s *Stats) {
 	checkCounter("CacheHits", s.CacheHits)
 	checkCounter("Deadlocks", s.Deadlocks)
 	checkCounter("BytesLoaded", s.BytesLoaded)
+	checkCounter("BytesBorrowed", s.BytesBorrowed)
 	checkCounter("PeakBytes", s.PeakBytes)
 	checkCounter("VisibleWait", int64(s.VisibleWait))
 	checkCounter("ReadTime", int64(s.ReadTime))

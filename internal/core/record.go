@@ -134,6 +134,63 @@ func (r *Record) AllocFieldBuffer(field string, size int) (*Buffer, error) {
 	return buf, nil
 }
 
+// BorrowFieldBuffer installs donated bytes as the named field's buffer
+// without copying when the platform allows (little-endian host, naturally
+// aligned data), falling back to an allocate-and-copy decode otherwise.
+// This is the zero-copy intake of the read path: a read function that
+// already holds the field's bytes — an mmap'd SHDF payload, a decoded wire
+// segment — donates the slice instead of writing it element by element into
+// newBuffer storage.
+//
+// Only unit-owned records may borrow: the donation's lifetime is the unit's
+// lifetime, ending when the unit is deleted or evicted (register donor
+// cleanup with Unit.OnRelease). Borrowed buffers are read-only; mutating
+// accessors return ErrBorrowed. The donated bytes are charged against the
+// database memory limit exactly like an allocated buffer of the same size.
+func (r *Record) BorrowFieldBuffer(field string, data []byte) (*Buffer, error) {
+	db := r.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer db.checkInvariantsLocked("BorrowFieldBuffer")
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if r.unit == nil {
+		return nil, fmt.Errorf("%w: resident records cannot borrow field memory", ErrBorrowed)
+	}
+	pos, ok := r.rt.fieldPos[field]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in record type %q", ErrUnknownField, field, r.rt.name)
+	}
+	if r.commit && r.isKeyField(pos) {
+		return nil, fmt.Errorf("%w: cannot reallocate key field %q of a committed record",
+			ErrCommitted, field)
+	}
+	buf, aliased, err := newBorrowedBuffer(r.rt.fields[pos].dtype, data)
+	if err != nil {
+		return nil, fmt.Errorf("field %q: %w", field, err)
+	}
+	old := int64(0)
+	if r.buffers[pos] != nil {
+		old = int64(r.buffers[pos].size)
+	}
+	need := int64(buf.size) - old
+	if need > 0 {
+		if err := db.reserveLocked(need, r.unit); err != nil {
+			return nil, err
+		}
+	} else {
+		db.releaseLocked(-need)
+	}
+	r.buffers[pos] = buf
+	r.memory += need
+	r.unit.memory += need
+	if aliased {
+		db.stats.bytesBorrowed.Add(int64(buf.size))
+	}
+	return buf, nil
+}
+
 func (r *Record) isKeyField(pos int) bool {
 	name := r.rt.fields[pos].name
 	for _, kf := range r.rt.keys {

@@ -21,6 +21,7 @@ type Stats struct {
 	CacheHits        int64
 	Deadlocks        int64
 	BytesLoaded      int64 // cumulative unit payload bytes brought in
+	BytesBorrowed    int64 // subset of BytesLoaded adopted zero-copy (donated slices)
 	PeakBytes        int64 // high-water memory charge
 	VisibleWait      time.Duration
 	ReadTime         time.Duration
@@ -41,6 +42,7 @@ type statsCounters struct {
 	cacheHits        atomic.Int64
 	deadlocks        atomic.Int64
 	bytesLoaded      atomic.Int64
+	bytesBorrowed    atomic.Int64
 	peakBytes        atomic.Int64
 	visibleWaitNanos atomic.Int64
 	readTimeNanos    atomic.Int64
@@ -79,6 +81,7 @@ func (db *DB) Stats() Stats {
 	s.RecordsCommitted = c.recordsCommitted.Load()
 	s.CacheHits = c.cacheHits.Load()
 	s.Deadlocks = c.deadlocks.Load()
+	s.BytesBorrowed = c.bytesBorrowed.Load()
 	s.BytesLoaded = c.bytesLoaded.Load()
 	s.PeakBytes = c.peakBytes.Load()
 	s.VisibleWait = time.Duration(c.visibleWaitNanos.Load())

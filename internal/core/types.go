@@ -126,6 +126,12 @@ var (
 	// ErrNoMemory is returned when a single allocation exceeds the database
 	// memory limit outright.
 	ErrNoMemory = errors.New("godiva: allocation exceeds database memory limit")
+	// ErrBorrowed is returned when mutating a borrowed buffer (one whose
+	// memory was donated by a read function instead of allocated by the
+	// database) or when donating to a record whose lifetime the database
+	// cannot bound (a resident record). Borrowed memory is read-only and
+	// lives exactly as long as the owning unit.
+	ErrBorrowed = errors.New("godiva: buffer memory is borrowed (read-only, unit-scoped)")
 	// ErrUnitState is returned when a unit lifecycle operation is applied in
 	// a state that does not allow it — e.g. finishing a unit that is still
 	// pending or already deleted. Callers racing on shared unit names can

@@ -97,6 +97,12 @@ type unit struct {
 	// evictable list (stateFinished, refs == 0). Guarded by db.mu.
 	lruPrev, lruNext *unit
 	inLRU            bool // guarded by db.mu
+
+	// releasers run (in registration order) when the unit is dropped —
+	// deleted, evicted, or swept by Close — after its records' buffers have
+	// been released. Read functions that donate borrowed memory register the
+	// donor's cleanup here (e.g. closing an mmap'd file). Guarded by db.mu.
+	releasers []func()
 }
 
 // ReadFunc is a developer-supplied read function: it reads one processing
@@ -120,6 +126,22 @@ func (x *Unit) Name() string { return x.u.name }
 // DB returns the database the unit is being read into, for schema lookups
 // and queries from within the read function.
 func (x *Unit) DB() *DB { return x.db }
+
+// OnRelease registers fn to run when the unit is dropped from the database
+// (DeleteUnit, cache eviction, or Close), after the unit's records and
+// buffers have been released. It is the lifetime hook for donated memory: a
+// read function that borrows mmap-backed slices into field buffers
+// (Record.BorrowFieldBuffer) registers the mapping's Close here, so the
+// donor outlives every borrowed view.
+//
+// fn runs with the database lock held: it must not call back into the
+// database and should do only prompt cleanup (close a file, unmap, release
+// a pool entry). Hooks run in registration order.
+func (x *Unit) OnRelease(fn func()) {
+	x.db.mu.Lock()
+	x.u.releasers = append(x.u.releasers, fn)
+	x.db.mu.Unlock()
+}
 
 // NewRecord creates a record of a committed record type owned by this unit.
 func (x *Unit) NewRecord(recType string) (*Record, error) {

@@ -1,0 +1,451 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godiva/internal/core"
+	"godiva/internal/genx"
+	"godiva/internal/remote"
+	"godiva/internal/zerocopy"
+)
+
+// The zero-copy sweep puts a number on the read path's copy elimination:
+// three read functions load the same GENx snapshot units into the same
+// record schema, differing only in how payload bytes reach database
+// buffers. "copy" is the paper-faithful baseline — every array is written
+// element by element into allocated buffers. "mmap" opens snapshots with
+// the mapped SHDF reader and donates the mapping's views through
+// Record.BorrowFieldBuffer, so aligned numeric payloads never leave the
+// page cache. "remote" fetches the payloads from godivad over the
+// scatter-send wire path and commits copies (shared coalesced payloads
+// must not be borrowed — their arena is recycled after commit). Each cell
+// also runs reader goroutines issuing key-lookup queries, so the headline
+// copy numbers come with the query throughput they coexist with.
+
+// ZeroCopySweepConfig configures the zero-copy sweep. Zero fields take the
+// defaults noted on each field.
+type ZeroCopySweepConfig struct {
+	Dir         string        // dataset directory (generated if incomplete)
+	Spec        genx.Spec     // dataset spec (default genx.Scaled(16))
+	Readers     int           // query goroutines per cell (default 2)
+	Workers     []int         // churn pool sizes (default 1, 4)
+	Duration    time.Duration // measured run per cell (default 250ms)
+	Records     int           // resident records the readers query (default 256)
+	MemoryLimit int64         // database memory cap (default 256 MB)
+	Log         func(format string, args ...any)
+}
+
+func (cfg *ZeroCopySweepConfig) setDefaults() {
+	if cfg.Spec.Blocks == 0 {
+		cfg.Spec = genx.Scaled(16)
+	}
+	if cfg.Readers == 0 {
+		cfg.Readers = 2
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 250 * time.Millisecond
+	}
+	if cfg.Records == 0 {
+		cfg.Records = 256
+	}
+	if cfg.MemoryLimit == 0 {
+		cfg.MemoryLimit = 256 << 20
+	}
+}
+
+func (cfg *ZeroCopySweepConfig) logf(format string, args ...any) {
+	if cfg.Log != nil {
+		cfg.Log(format, args...)
+	}
+}
+
+// ZeroCopyCell reports one (mode, workers) run of the zero-copy sweep.
+type ZeroCopyCell struct {
+	Mode     string // "copy", "mmap" or "remote"
+	Workers  int    // churn pool size (Options.IOWorkers)
+	Readers  int    // concurrent query goroutines
+	Duration time.Duration
+
+	Queries    int64   // key-lookup queries completed
+	QueriesPS  float64 // queries per second across all readers
+	UnitCycles int64   // add→wait→finish→delete cycles completed
+	UnitsRead  int64   // unit read executions (denominator of per-unit bytes)
+	UnitsPS    float64 // unit cycles per second
+
+	BytesLoaded   int64   // payload bytes committed into the database
+	BytesBorrowed int64   // subset adopted zero-copy via BorrowFieldBuffer
+	BytesCopied   int64   // commit copies plus client decode copies
+	CopiedPerUnit float64 // BytesCopied / UnitsRead
+}
+
+// borrowF64 donates v's backing bytes as the field's buffer; on big-endian
+// hosts (where the wire/disk layout cannot be aliased) it falls back to the
+// copying fill.
+func borrowF64(rec *core.Record, field string, v []float64) error {
+	if b, ok := zerocopy.BytesOfF64s(v); ok {
+		_, err := rec.BorrowFieldBuffer(field, b)
+		return err
+	}
+	return fillF64(rec, field, v)
+}
+
+// commitBorrowedBlock stores one block's payload like commitRemoteBlock,
+// but donates every numeric array through BorrowFieldBuffer instead of
+// copying it into allocated buffers. The donor (an mmap'd snapshot file)
+// must outlive the unit; the mmap read function arranges that with
+// Unit.OnRelease.
+func commitBorrowedBlock(u *core.Unit, bd *genx.BlockData) error {
+	rec, err := u.NewRecord("rblock")
+	if err != nil {
+		return err
+	}
+	if err := rec.SetString("block", bd.Name); err != nil {
+		return err
+	}
+	if err := rec.SetString("step", bd.StepID); err != nil {
+		return err
+	}
+	if err := borrowF64(rec, "coords", bd.Mesh.Coords); err != nil {
+		return err
+	}
+	if b, ok := zerocopy.BytesOfI32s(bd.Mesh.Tets); ok {
+		if _, err := rec.BorrowFieldBuffer("conn", b); err != nil {
+			return err
+		}
+	} else {
+		buf, err := rec.AllocFieldBuffer("conn", 4*len(bd.Mesh.Tets))
+		if err != nil {
+			return err
+		}
+		conn, err := buf.Int32s()
+		if err != nil {
+			return err
+		}
+		copy(conn, bd.Mesh.Tets)
+	}
+	if b, ok := zerocopy.BytesOfI64s(bd.Mesh.GlobalNode); ok {
+		if _, err := rec.BorrowFieldBuffer("gids", b); err != nil {
+			return err
+		}
+	} else {
+		buf, err := rec.AllocFieldBuffer("gids", 8*len(bd.Mesh.GlobalNode))
+		if err != nil {
+			return err
+		}
+		gids, err := buf.Int64s()
+		if err != nil {
+			return err
+		}
+		copy(gids, bd.Mesh.GlobalNode)
+	}
+	for _, v := range remoteSweepVars() {
+		data, ok := bd.Node[v]
+		if !ok {
+			data = bd.Elem[v]
+		}
+		if err := borrowF64(rec, v, data); err != nil {
+			return err
+		}
+	}
+	return u.DB().CommitRecord(rec)
+}
+
+// mmapZeroCopyReadFunc reads a snapshot unit through the mapped SHDF
+// reader and commits borrowed views of the mapping. Each opened file's
+// Close is deferred to the unit's release, so the borrowed buffers' memory
+// stays mapped for the unit's whole residency.
+func mmapZeroCopyReadFunc(cfg ZeroCopySweepConfig) core.ReadFunc {
+	vars := remoteSweepVars()
+	return func(u *core.Unit) error {
+		var step int
+		if n, _ := fmt.Sscanf(u.Name(), "snap_%d", &step); n != 1 {
+			return fmt.Errorf("experiments: bad unit name %q", u.Name())
+		}
+		r := &genx.Reader{Mapped: true}
+		for _, path := range cfg.Spec.SnapshotFiles(cfg.Dir, step) {
+			h, err := r.Open(path)
+			if err != nil {
+				return err
+			}
+			// Registered before any borrow so the mapping is unmapped
+			// exactly once, when the unit (and every view into it) dies.
+			u.OnRelease(func() { h.Close() })
+			for _, e := range h.Blocks() {
+				bd, err := h.ReadBlock(e, vars)
+				if err != nil {
+					return err
+				}
+				if err := commitBorrowedBlock(u, bd); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// runZeroCopyCell runs one cell: readers query resident records while the
+// churn pipelines cycle snapshot units through the given read function for
+// cfg.Duration. Pipelines share snapshot names (they must parse as
+// snap_NNNN), so the same unit-state races the remote lock churn tolerates
+// are tolerated here.
+func runZeroCopyCell(cfg ZeroCopySweepConfig, mode string, workers int, read core.ReadFunc, client *remote.Client) (*ZeroCopyCell, error) {
+	db := core.Open(core.Options{
+		MemoryLimit:  cfg.MemoryLimit,
+		BackgroundIO: true,
+		IOWorkers:    workers,
+	})
+	defer db.Close()
+	if err := defineRemoteSchema(db); err != nil {
+		return nil, err
+	}
+	if err := defineLockQuerySchema(db); err != nil {
+		return nil, err
+	}
+	keys, err := populateLockQueryRecords(db, cfg.Records)
+	if err != nil {
+		return nil, err
+	}
+	nsnap := cfg.Spec.Snapshots
+	if nsnap > 4 {
+		nsnap = 4 // a few distinct snapshots are enough churn variety
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries, cycles atomic.Int64
+	errc := make(chan error, cfg.Readers+workers)
+
+	for g := 0; g < cfg.Readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := int64(0)
+			for i := g; ; i++ {
+				select {
+				case <-stop:
+					queries.Add(n)
+					return
+				default:
+				}
+				if _, err := db.GetFieldBuffer("qgrid", "qdata", keys[i%len(keys)]...); err != nil {
+					errc <- fmt.Errorf("query: %w", err)
+					return
+				}
+				n++
+			}
+		}(g)
+	}
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			n := int64(0)
+			for i := p; ; i++ {
+				select {
+				case <-stop:
+					cycles.Add(n)
+					return
+				default:
+				}
+				name := fmt.Sprintf("snap_%04d", (p+i)%nsnap)
+				if err := db.AddUnit(name, read); err != nil {
+					errc <- fmt.Errorf("add %s: %w", name, err)
+					return
+				}
+				if err := db.WaitUnit(name); err != nil {
+					if errors.Is(err, core.ErrUnknownUnit) {
+						continue // another pipeline deleted it mid-cycle
+					}
+					errc <- fmt.Errorf("wait %s: %w", name, err)
+					return
+				}
+				if err := db.FinishUnit(name); err != nil &&
+					!errors.Is(err, core.ErrUnknownUnit) && !errors.Is(err, core.ErrUnitState) {
+					errc <- fmt.Errorf("finish %s: %w", name, err)
+					return
+				}
+				if err := db.DeleteUnit(name); err != nil && !errors.Is(err, core.ErrUnknownUnit) {
+					errc <- fmt.Errorf("delete %s: %w", name, err)
+					return
+				}
+				n++
+			}
+		}(p)
+	}
+
+	start := time.Now()
+	select {
+	case err := <-errc:
+		close(stop)
+		wg.Wait()
+		return nil, fmt.Errorf("zerocopy cell %s w=%d: %w", mode, workers, err)
+	case <-time.After(cfg.Duration):
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return nil, fmt.Errorf("zerocopy cell %s w=%d: %w", mode, workers, err)
+	default:
+	}
+
+	s := db.Stats()
+	copied := s.BytesLoaded - s.BytesBorrowed
+	if client != nil {
+		copied += client.Stats().BytesCopied
+	}
+	cell := &ZeroCopyCell{
+		Mode:          mode,
+		Workers:       workers,
+		Readers:       cfg.Readers,
+		Duration:      elapsed,
+		Queries:       queries.Load(),
+		UnitCycles:    cycles.Load(),
+		UnitsRead:     s.UnitsRead,
+		BytesLoaded:   s.BytesLoaded,
+		BytesBorrowed: s.BytesBorrowed,
+		BytesCopied:   copied,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		cell.QueriesPS = float64(cell.Queries) / sec
+		cell.UnitsPS = float64(cell.UnitCycles) / sec
+	}
+	if cell.UnitsRead > 0 {
+		cell.CopiedPerUnit = float64(copied) / float64(cell.UnitsRead)
+	}
+	return cell, nil
+}
+
+// RunZeroCopySweep generates the dataset if needed and runs the copy and
+// mmap cells for every pool size, then starts a godivad server on the
+// loopback interface and runs the remote cells. Rows come back mode-major
+// (copy, mmap, remote), ordered by workers within a mode.
+func RunZeroCopySweep(cfg ZeroCopySweepConfig) ([]*ZeroCopyCell, error) {
+	cfg.setDefaults()
+	setup := &Setup{Spec: cfg.Spec, Dir: cfg.Dir, Log: cfg.Log}
+	if err := EnsureDataset(setup); err != nil {
+		return nil, err
+	}
+	// The copy baseline is the remote sweep's local read function: plain
+	// (unmapped) SHDF reads committed with the copying fill.
+	rcfg := RemoteSweepConfig{Dir: cfg.Dir, Spec: cfg.Spec}
+	var cells []*ZeroCopyCell
+	for _, w := range cfg.Workers {
+		cfg.logf("zerocopy sweep: copy, %d workers…", w)
+		cell, err := runZeroCopyCell(cfg, "copy", w, localRemoteReadFunc(rcfg), nil)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	for _, w := range cfg.Workers {
+		cfg.logf("zerocopy sweep: mmap, %d workers…", w)
+		cell, err := runZeroCopyCell(cfg, "mmap", w, mmapZeroCopyReadFunc(cfg), nil)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	srv, err := remote.Serve(remote.ServerOptions{Dir: cfg.Dir})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	vars := remoteSweepVars()
+	resolve := func(unit string) ([]string, error) {
+		var step int
+		if n, _ := fmt.Sscanf(unit, "snap_%d", &step); n != 1 {
+			return nil, fmt.Errorf("experiments: bad unit name %q", unit)
+		}
+		return cfg.Spec.SnapshotFiles("", step), nil
+	}
+	for _, w := range cfg.Workers {
+		cfg.logf("zerocopy sweep: remote, %d workers…", w)
+		client := remote.NewClient(remote.ClientOptions{Addr: srv.Addr(), PoolSize: w})
+		read := remote.NewReadFunc(client, resolve, vars, commitRemoteBlock)
+		cell, err := runZeroCopyCell(cfg, "remote", w, read, client)
+		if cerr := client.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// PrintZeroCopySweep writes the zero-copy sweep table.
+func PrintZeroCopySweep(w io.Writer, cells []*ZeroCopyCell) {
+	fmt.Fprintf(w, "\nBytes copied per unit by read path (copy vs mmap vs remote):\n")
+	fmt.Fprintf(w, "%7s %8s %8s %12s %10s %12s %12s %14s\n",
+		"mode", "workers", "readers", "queries/s", "units/s", "loaded (MB)", "borrowed (MB)", "copied/unit (KB)")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%7s %8d %8d %12.0f %10.1f %12.2f %12.2f %14.1f\n",
+			c.Mode, c.Workers, c.Readers,
+			c.QueriesPS, c.UnitsPS,
+			float64(c.BytesLoaded)/1e6, float64(c.BytesBorrowed)/1e6,
+			c.CopiedPerUnit/1e3)
+	}
+}
+
+// zeroCopyCellJSON is the machine-readable form of a ZeroCopyCell:
+// durations in milliseconds, rates per second, bytes raw.
+type zeroCopyCellJSON struct {
+	Mode          string  `json:"mode"`
+	Workers       int     `json:"workers"`
+	Readers       int     `json:"readers"`
+	DurationMS    float64 `json:"duration_ms"`
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	UnitCycles    int64   `json:"unit_cycles"`
+	UnitsRead     int64   `json:"units_read"`
+	UnitsPerSec   float64 `json:"units_per_sec"`
+	BytesLoaded   int64   `json:"bytes_loaded"`
+	BytesBorrowed int64   `json:"bytes_borrowed"`
+	BytesCopied   int64   `json:"bytes_copied"`
+	CopiedPerUnit float64 `json:"copied_per_unit"`
+}
+
+// WriteZeroCopyJSON writes the sweep's cells as a JSON document (the
+// bench's BENCH_zerocopy.json artifact).
+func WriteZeroCopyJSON(path string, cells []*ZeroCopyCell) error {
+	out := struct {
+		Experiment string             `json:"experiment"`
+		Cells      []zeroCopyCellJSON `json:"cells"`
+	}{Experiment: "zerocopy-sweep"}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, zeroCopyCellJSON{
+			Mode:          c.Mode,
+			Workers:       c.Workers,
+			Readers:       c.Readers,
+			DurationMS:    float64(c.Duration.Microseconds()) / 1e3,
+			Queries:       c.Queries,
+			QueriesPerSec: c.QueriesPS,
+			UnitCycles:    c.UnitCycles,
+			UnitsRead:     c.UnitsRead,
+			UnitsPerSec:   c.UnitsPS,
+			BytesLoaded:   c.BytesLoaded,
+			BytesBorrowed: c.BytesBorrowed,
+			BytesCopied:   c.BytesCopied,
+			CopiedPerUnit: c.CopiedPerUnit,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

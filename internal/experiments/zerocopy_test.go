@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"godiva/internal/genx"
+	"godiva/internal/zerocopy"
+)
+
+// The zero-copy sweep must produce one cell per (mode, workers)
+// combination, make progress on both sides of every cell, and — the
+// tentpole claim — load most mmap-mode bytes borrowed rather than copied,
+// cutting bytes-copied-per-unit well below the copying baseline.
+func TestZeroCopySweep(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ZeroCopySweepConfig{
+		Dir:      filepath.Join(dir, "data"),
+		Spec:     genx.Scaled(32),
+		Readers:  1,
+		Workers:  []int{1},
+		Duration: 60 * time.Millisecond,
+		Records:  32,
+	}
+	cells, err := RunZeroCopySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3 (copy, mmap, remote)", len(cells))
+	}
+	byMode := map[string]*ZeroCopyCell{}
+	for _, c := range cells {
+		byMode[c.Mode] = c
+		if c.Queries == 0 {
+			t.Errorf("%s: no queries completed", c.Mode)
+		}
+		if c.UnitsRead == 0 {
+			t.Errorf("%s: no units read", c.Mode)
+		}
+		if c.BytesLoaded == 0 {
+			t.Errorf("%s: no payload bytes loaded", c.Mode)
+		}
+	}
+	cp, mm, rm := byMode["copy"], byMode["mmap"], byMode["remote"]
+	if cp == nil || mm == nil || rm == nil {
+		t.Fatalf("missing modes: %v", byMode)
+	}
+	if cp.BytesBorrowed != 0 {
+		t.Errorf("copy mode borrowed %d bytes, want 0", cp.BytesBorrowed)
+	}
+	if zerocopy.LittleEndian {
+		if mm.BytesBorrowed == 0 {
+			t.Error("mmap mode borrowed no bytes on a little-endian host")
+		}
+		// The acceptance bar: the mmap path copies less than half as many
+		// bytes per unit as the copying baseline.
+		if mm.CopiedPerUnit*2 > cp.CopiedPerUnit {
+			t.Errorf("mmap copied/unit = %.0f, copy = %.0f: want >= 2x reduction",
+				mm.CopiedPerUnit, cp.CopiedPerUnit)
+		}
+	}
+
+	path := filepath.Join(dir, "BENCH_zerocopy.json")
+	if err := WriteZeroCopyJSON(path, cells); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Cells      []struct {
+			Mode          string  `json:"mode"`
+			CopiedPerUnit float64 `json:"copied_per_unit"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_zerocopy.json does not parse: %v", err)
+	}
+	if doc.Experiment != "zerocopy-sweep" || len(doc.Cells) != 3 {
+		t.Fatalf("JSON artifact: experiment=%q, %d cells", doc.Experiment, len(doc.Cells))
+	}
+}

@@ -25,6 +25,13 @@ const (
 type Reader struct {
 	M *platform.Machine
 
+	// Mapped opens snapshot files with shdf.OpenMapped: dataset reads
+	// return views that alias the file's read-only memory mapping instead
+	// of decoded copies (falling back to ordinary reads where mmap is
+	// unavailable). Borrowed views live until the FileHandle is closed;
+	// callers that hold datasets across Close must copy them first.
+	Mapped bool
+
 	// VolumeScale multiplies payload bytes when charging the platform
 	// (request-count overheads are not scaled). The experiments run on a
 	// geometrically reduced dataset with the full block and file structure,
@@ -109,7 +116,13 @@ func (r *Reader) Open(path string) (*FileHandle, error) {
 	if t := r.t(); t != nil {
 		t.DiskOpen()
 	}
-	f, err := shdf.Open(path)
+	var f *shdf.File
+	var err error
+	if r.Mapped {
+		f, err = shdf.OpenMapped(path)
+	} else {
+		f, err = shdf.Open(path)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -70,15 +70,20 @@ type RemoteStats struct {
 	Retries   int64 // attempts beyond the first, after transient failures
 	Errors    int64 // fetches that failed permanently (retries exhausted
 	//                         or a non-retryable protocol error)
-	BytesIn int64         // response payload bytes received
+	BytesIn     int64 // response payload bytes received
+	BytesCopied int64 // payload array bytes copied while decoding fetches
+	//                   (the rest alias the pooled response frame; nonzero
+	//                   only on big-endian hosts)
 	Latency time.Duration // cumulative round-trip time of successful RPCs
 }
 
 // call is one in-flight single-flight fetch.
 type call struct {
-	done chan struct{}
-	fp   *FilePayload
-	err  error
+	done    chan struct{}
+	joiners int // fetchers coalesced onto this call, beyond the owner;
+	//             final once the call leaves c.calls (guarded by c.mu)
+	fp  *FilePayload
+	err error
 }
 
 // Client fetches unit payloads from a godivad server. It is safe for
@@ -142,7 +147,10 @@ func (c *Client) Close() error {
 
 // Ping checks the server is reachable and speaking the protocol.
 func (c *Client) Ping() error {
-	_, err := c.rpc(OpPing, nil)
+	_, buf, err := c.rpc(OpPing, nil)
+	if buf != nil {
+		putFrameBuf(buf)
+	}
 	return err
 }
 
@@ -150,17 +158,21 @@ func (c *Client) Ping() error {
 // files per snapshot, block count and time step (the same subset of
 // genx.Spec that genx.Discover recovers from local files).
 func (c *Client) Spec() (genx.Spec, error) {
-	body, err := c.rpc(OpSpec, nil)
+	body, buf, err := c.rpc(OpSpec, nil)
 	if err != nil {
 		return genx.Spec{}, err
 	}
-	return decodeSpec(body)
+	spec, err := decodeSpec(body)
+	putFrameBuf(buf)
+	return spec, err
 }
 
 // FetchFile fetches one snapshot file's unit payload: every block with its
 // mesh arrays plus the named variable fields. Concurrent calls for the same
 // (path, vars) join a single RPC; the shared payload must be treated as
-// read-only.
+// read-only. The payload's arrays alias a pooled response buffer — every
+// caller that got the payload should call its Recycle when done with it so
+// the buffer is reused (and must not touch the payload afterwards).
 func (c *Client) FetchFile(path string, vars []string) (*FilePayload, error) {
 	key := path + "\x00" + strings.Join(vars, "\x00")
 	c.mu.Lock()
@@ -171,9 +183,13 @@ func (c *Client) FetchFile(path string, vars []string) (*FilePayload, error) {
 	c.stats.Fetches++
 	if cl, ok := c.calls[key]; ok {
 		c.stats.Coalesced++
+		cl.joiners++
 		c.mu.Unlock()
 		select {
 		case <-cl.done:
+			// lint:ignore lockcheck cl.fp/cl.err are written once by the
+			// fetching goroutine before close(cl.done); the receive above
+			// happens-after that write, so no mutex is needed here.
 			return cl.fp, cl.err
 		case <-c.done:
 			return nil, ErrClientClosed
@@ -183,12 +199,17 @@ func (c *Client) FetchFile(path string, vars []string) (*FilePayload, error) {
 	c.calls[key] = cl
 	c.mu.Unlock()
 
-	body, err := c.rpc(OpFetch, encodeFetchReq(path, vars))
+	body, buf, err := c.rpc(OpFetch, encodeFetchReq(path, vars))
 	var fp *FilePayload
+	var copied int64
 	if err == nil {
-		fp, err = decodeFilePayload(body)
+		fp, copied, err = decodeFilePayload(body)
 		if fp != nil {
 			fp.Path = path
+		}
+		if err != nil {
+			putFrameBuf(buf)
+			buf = nil
 		}
 	}
 	if err != nil {
@@ -197,10 +218,23 @@ func (c *Client) FetchFile(path string, vars []string) (*FilePayload, error) {
 
 	c.mu.Lock()
 	delete(c.calls, key)
+	joiners := cl.joiners // final: no joiner can arrive after the delete
 	if err != nil {
 		c.stats.Errors++
+	} else {
+		c.stats.BytesCopied += copied
 	}
 	c.mu.Unlock()
+	if fp != nil && buf != nil {
+		// One reference per fetcher sharing the payload. A joiner that bailed
+		// out on client close never recycles; the arena is then simply
+		// garbage collected instead of pooled.
+		fp.arena = buf
+		fp.refs.Store(int32(1 + joiners))
+	}
+	// lint:ignore lockcheck cl.fp/cl.err are published by close(cl.done):
+	// joiners only read them after receiving from the channel, which
+	// happens-after this write. The mutex never guards these fields.
 	cl.fp, cl.err = fp, err
 	close(cl.done)
 	return fp, err
@@ -220,8 +254,11 @@ func retryable(err error) bool {
 	return true
 }
 
-// rpc performs one request with retries.
-func (c *Client) rpc(op byte, body []byte) ([]byte, error) {
+// rpc performs one request with retries. On success it returns the response
+// payload plus the pooled frame buffer backing it; the caller must hand buf
+// to putFrameBuf (or park it in a FilePayload arena) once the payload is
+// dead.
+func (c *Client) rpc(op byte, body []byte) (resp, buf []byte, err error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -232,19 +269,19 @@ func (c *Client) rpc(op byte, body []byte) ([]byte, error) {
 			select {
 			case <-time.After(d):
 			case <-c.done:
-				return nil, ErrClientClosed
+				return nil, nil, ErrClientClosed
 			}
 		}
-		resp, err := c.attempt(op, body)
+		resp, buf, err := c.attempt(op, body)
 		if err == nil {
-			return resp, nil
+			return resp, buf, nil
 		}
 		lastErr = err
 		if !retryable(err) {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return nil, fmt.Errorf("remote: %d attempts failed, giving up: %w",
+	return nil, nil, fmt.Errorf("remote: %d attempts failed, giving up: %w",
 		c.opts.MaxRetries+1, lastErr)
 }
 
@@ -259,44 +296,49 @@ func (c *Client) backoffLocked(attempt int) time.Duration {
 	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
 }
 
-// attempt performs one wire round-trip on a pooled connection.
-func (c *Client) attempt(op byte, body []byte) ([]byte, error) {
+// attempt performs one wire round-trip on a pooled connection. The response
+// payload is read into a pooled frame buffer, returned to the caller on
+// success (see rpc) and back to the pool on every failure path.
+func (c *Client) attempt(op byte, body []byte) ([]byte, []byte, error) {
 	start := time.Now()
 	c.mu.Lock()
 	c.stats.RPCs++
 	c.mu.Unlock()
 	conn, err := c.getConn()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	deadline := start.Add(c.opts.RequestTimeout)
 	conn.SetDeadline(deadline)
-	rop, rbody, err := func() (byte, []byte, error) {
+	rop, buf, rbody, err := func() (byte, []byte, []byte, error) {
 		if err := writeFrame(conn, op, body); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
-		return readFrame(conn)
+		return readFramePooled(conn)
 	}()
 	if err != nil {
 		// The connection is in an unknown state (possibly mid-frame): drop
 		// it rather than return it to the pool.
 		conn.Close()
 		c.releaseSlot()
-		return nil, err
+		return nil, nil, err
 	}
 	conn.SetDeadline(time.Time{})
 	c.putConn(conn)
 	if rop == RespErr {
-		return nil, decodeErr(rbody)
+		serr := decodeErr(rbody)
+		putFrameBuf(buf)
+		return nil, nil, serr
 	}
 	if rop != RespOK {
-		return nil, fmt.Errorf("%w: unexpected response op %#02x", ErrProtocol, rop)
+		putFrameBuf(buf)
+		return nil, nil, fmt.Errorf("%w: unexpected response op %#02x", ErrProtocol, rop)
 	}
 	c.mu.Lock()
 	c.stats.BytesIn += int64(len(rbody))
 	c.stats.Latency += time.Since(start)
 	c.mu.Unlock()
-	return rbody, nil
+	return rbody, buf, nil
 }
 
 // getConn acquires a pool slot and returns an idle or freshly dialed

@@ -1,0 +1,121 @@
+package remote
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"godiva/internal/genx"
+)
+
+// FuzzFilePayload feeds arbitrary bodies through the FilePayload decoder —
+// the bytes a client accepts from the network — and round-trips whatever
+// decodes: decode → encode segments → flatten → decode must reproduce the
+// same payload, and nothing may panic. The corpus seeds a valid encoding
+// plus truncations and count mutations (see TestWriteFuzzCorpus, which
+// mirrors the shdf FuzzReader corpus setup).
+func FuzzFilePayload(f *testing.F) {
+	for _, s := range payloadSeedInputs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fp, _, err := decodeFilePayload(b)
+		if err != nil {
+			return // rejected: the desired outcome for damaged frames
+		}
+		segs, _, err := encodeFilePayloadSegments(fp, maxFrame-2)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded payload failed: %v", err)
+		}
+		again, _, err := decodeFilePayload(flattenSegments(segs))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded payload failed: %v", err)
+		}
+		if len(again.Blocks) != len(fp.Blocks) {
+			t.Fatalf("round trip changed block count: %d != %d", len(again.Blocks), len(fp.Blocks))
+		}
+		samePayload(t, again, fp)
+	})
+}
+
+// FuzzSpec does the same for the OpSpec payload.
+func FuzzSpec(f *testing.F) {
+	for _, s := range specSeedInputs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := decodeSpec(b)
+		if err != nil {
+			return
+		}
+		again, err := decodeSpec(encodeSpec(s))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded spec failed: %v", err)
+		}
+		// Compare DT bit for bit: fuzzed frames decode to NaN, where ==
+		// would report a spurious mismatch.
+		if again.Snapshots != s.Snapshots || again.FilesPerSnapshot != s.FilesPerSnapshot ||
+			again.Blocks != s.Blocks || math.Float64bits(again.DT) != math.Float64bits(s.DT) {
+			t.Fatalf("round trip changed spec: %+v != %+v", again, s)
+		}
+	})
+}
+
+// payloadSeedInputs is the checked-in seed corpus for FuzzFilePayload: a
+// valid encoding, its interesting truncations, and a block-count mutation.
+func payloadSeedInputs() [][]byte {
+	segs, _, err := encodeFilePayloadSegments(samplePayload(), maxFrame-2)
+	if err != nil {
+		panic(err)
+	}
+	data := flattenSegments(segs)
+	seeds := [][]byte{data}
+	for _, n := range []int{0, 8, 12, len(data) / 2, len(data) - 1} {
+		if n <= len(data) {
+			seeds = append(seeds, append([]byte(nil), data[:n]...))
+		}
+	}
+	// Wild block count: f64 time (8) + str stepID (2 + len) puts the u32
+	// count right after the step-ID string.
+	if at := 8 + 2 + len("0.000025"); at+4 <= len(data) {
+		mut := append([]byte(nil), data...)
+		mut[at], mut[at+1], mut[at+2], mut[at+3] = 0xFF, 0xFF, 0xFF, 0xFF
+		seeds = append(seeds, mut)
+	}
+	return seeds
+}
+
+// specSeedInputs seeds FuzzSpec with a valid encoding and truncations.
+func specSeedInputs() [][]byte {
+	data := encodeSpec(genx.Spec{Snapshots: 32, FilesPerSnapshot: 8, Blocks: 120, DT: 2.5e-5})
+	return [][]byte{data, data[:4], data[:0], append([]byte(nil), data[:len(data)-1]...)}
+}
+
+// TestWriteFuzzCorpus regenerates the on-disk seed corpora. It is a no-op
+// unless REMOTE_WRITE_CORPUS=1, so normal test runs never touch the tree:
+//
+//	REMOTE_WRITE_CORPUS=1 go test -run TestWriteFuzzCorpus ./internal/remote
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("REMOTE_WRITE_CORPUS") == "" {
+		t.Skip("set REMOTE_WRITE_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	for fuzz, seeds := range map[string][][]byte{
+		"FuzzFilePayload": payloadSeedInputs(),
+		"FuzzSpec":        specSeedInputs(),
+	} {
+		dir := filepath.Join("testdata", "fuzz", fuzz)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

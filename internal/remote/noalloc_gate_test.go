@@ -18,12 +18,20 @@ func TestNoAllocGates(t *testing.T) {
 	c := NewClient(ClientOptions{Addr: "127.0.0.1:1"})
 	defer c.Close()
 	var s RemoteStats
+	d := &dec{b: make([]byte, 64), off: 3}
 	noalloctest.Check(t, ".", map[string]func(){
 		"Client.Stats": func() {
 			s = c.Stats()
 		},
+		"dec.align": func() {
+			d.off = 3 // mid-field: align must skip a real pad each run
+			d.align(8)
+		},
 	})
 	if s.RPCs != 0 {
 		t.Errorf("idle client reported %d RPCs, want 0", s.RPCs)
+	}
+	if d.off != 8 || d.err != nil {
+		t.Errorf("align gate left off=%d err=%v, want 8, nil", d.off, d.err)
 	}
 }

@@ -3,9 +3,11 @@ package remote
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"godiva/internal/genx"
 	"godiva/internal/mesh"
+	"godiva/internal/zerocopy"
 )
 
 // FilePayload is one snapshot file's unit payload: every block stored in the
@@ -15,12 +17,41 @@ import (
 //
 // Payloads returned by Client.FetchFile may be shared between coalesced
 // callers and must be treated as read-only; commit callbacks copy field data
-// into database buffers.
+// into database buffers. On little-endian hosts the block arrays alias the
+// response frame's buffer: call Recycle when done with the payload so the
+// buffer returns to the frame pool, and touch nothing decoded from the
+// payload afterwards.
 type FilePayload struct {
 	Path   string // request path, in the server's namespace
 	Time   float64
 	StepID string
 	Blocks []*genx.BlockData
+
+	// arena is the pooled response-frame buffer whose payload region the
+	// block arrays alias; nil when the payload was not decoded from a
+	// pooled frame. refs counts the fetchers sharing the payload (the
+	// owner plus every coalesced joiner); the last Recycle pools the arena.
+	arena []byte
+	refs  atomic.Int32
+}
+
+// Recycle releases the caller's claim on the payload. Once every fetcher
+// that received the payload (coalesced fetches share one) has called it,
+// the backing frame buffer returns to the frame pool for reuse. After
+// calling Recycle the caller must not touch the payload or any slice
+// decoded from it — the memory may be overwritten by a later fetch.
+// Payloads without pooled backing ignore Recycle.
+func (fp *FilePayload) Recycle() {
+	if fp.refs.Load() == 0 {
+		return // not pool-backed
+	}
+	if fp.refs.Add(-1) > 0 {
+		return
+	}
+	buf := fp.arena
+	fp.arena = nil
+	fp.Blocks = nil // fail fast on use-after-recycle
+	putFrameBuf(buf)
 }
 
 // Bytes returns the payload's approximate data volume: the raw size of every
@@ -51,42 +82,142 @@ func sortedKeys(m map[string][]float64) []string {
 	return out
 }
 
-// encodeFilePayload serializes a FilePayload:
+// segEnc builds a frame payload as a list of segments: meta chunks (scalars,
+// strings, counts, alignment pads) interleaved with borrowed array segments
+// that alias the caller's slices. The server hands the list to
+// writeFrameBuffers, so array data goes from the dataset (often an mmap'd
+// SHDF payload) to the socket without an intermediate assembly copy.
+type segEnc struct {
+	e      enc      // meta chunk under construction
+	segs   [][]byte // finished segments, in payload order
+	base   int      // payload bytes already flushed into segs
+	copied int64    // array bytes encoded element-wise (no aliasing possible)
+}
+
+// flush closes the open meta chunk. Each chunk is a separately built slice:
+// the encoder never appends to a chunk after flushing it, so a later append
+// can never reallocate-and-move bytes a flushed segment points at.
+func (s *segEnc) flush() {
+	if len(s.e.b) > 0 {
+		s.segs = append(s.segs, s.e.b)
+		s.base += len(s.e.b)
+		s.e.b = nil
+	}
+}
+
+// borrow appends seg as a payload segment, aliasing the caller's memory.
+func (s *segEnc) borrow(seg []byte) {
+	s.flush()
+	s.segs = append(s.segs, seg)
+	s.base += len(seg)
+}
+
+// align8 zero-pads the payload to the next 8-byte offset.
+func (s *segEnc) align8() {
+	for (s.base+len(s.e.b))%8 != 0 {
+		s.e.b = append(s.e.b, 0)
+	}
+}
+
+// f64s encodes a float64 array: u32 count, pad to 8, then the elements —
+// borrowed in place on little-endian hosts, copied element-wise otherwise.
+func (s *segEnc) f64s(v []float64) {
+	s.e.u32(uint32(len(v)))
+	s.align8()
+	if seg, ok := zerocopy.BytesOfF64s(v); ok {
+		if len(seg) > 0 {
+			s.borrow(seg)
+		}
+		return
+	}
+	for _, x := range v {
+		s.e.f64(x)
+	}
+	s.copied += int64(8 * len(v))
+}
+
+func (s *segEnc) i32s(v []int32) {
+	s.e.u32(uint32(len(v)))
+	s.align8()
+	if seg, ok := zerocopy.BytesOfI32s(v); ok {
+		if len(seg) > 0 {
+			s.borrow(seg)
+		}
+		return
+	}
+	for _, x := range v {
+		s.e.u32(uint32(x))
+	}
+	s.copied += int64(4 * len(v))
+}
+
+func (s *segEnc) i64s(v []int64) {
+	s.e.u32(uint32(len(v)))
+	s.align8()
+	if seg, ok := zerocopy.BytesOfI64s(v); ok {
+		if len(seg) > 0 {
+			s.borrow(seg)
+		}
+		return
+	}
+	for _, x := range v {
+		s.e.u64(uint64(x))
+	}
+	s.copied += int64(8 * len(v))
+}
+
+// encodeFilePayloadSegments serializes a FilePayload as scattered frame
+// segments:
 //
 //	f64 time | str stepID | u32 nblocks
 //	per block: u32 id | str name
-//	           u32 ncoords + f64... | u32 ntets + i32... | u32 ngids + i64...
-//	           u16 nnode  (per field: str name | u32 n + f64...)
-//	           u16 nelem  (per field: str name | u32 n + f64...)
-func encodeFilePayload(fp *FilePayload) []byte {
-	var e enc
-	e.f64(fp.Time)
-	e.str(fp.StepID)
-	e.u32(uint32(len(fp.Blocks)))
+//	           u32 ncoords |pad| f64... | u32 ntets |pad| i32... |
+//	           u32 ngids |pad| i64...
+//	           u16 nnode  (per field: str name | u32 n |pad| f64...)
+//	           u16 nelem  (per field: str name | u32 n |pad| f64...)
+//
+// Array segments alias fp's slices: the caller must keep their backing
+// memory (e.g. the mmap'd snapshot file) alive and unwritten until the
+// frame has been fully written. copied reports array bytes that could not
+// be borrowed and were encoded element-wise. limit bounds the total payload
+// size (the wire cap is maxFrame-2; tests pass smaller limits); exceeding
+// it returns ErrFrameTooLarge before anything is sent.
+func encodeFilePayloadSegments(fp *FilePayload, limit int) (segs [][]byte, copied int64, err error) {
+	var s segEnc
+	s.e.f64(fp.Time)
+	s.e.str(fp.StepID)
+	s.e.u32(uint32(len(fp.Blocks)))
 	for _, bd := range fp.Blocks {
-		e.u32(uint32(bd.ID))
-		e.str(bd.Name)
-		e.f64s(bd.Mesh.Coords)
-		e.i32s(bd.Mesh.Tets)
-		e.i64s(bd.Mesh.GlobalNode)
-		e.u16(uint16(len(bd.Node)))
+		s.e.u32(uint32(bd.ID))
+		s.e.str(bd.Name)
+		s.f64s(bd.Mesh.Coords)
+		s.i32s(bd.Mesh.Tets)
+		s.i64s(bd.Mesh.GlobalNode)
+		s.e.u16(uint16(len(bd.Node)))
 		for _, name := range sortedKeys(bd.Node) {
-			e.str(name)
-			e.f64s(bd.Node[name])
+			s.e.str(name)
+			s.f64s(bd.Node[name])
 		}
-		e.u16(uint16(len(bd.Elem)))
+		s.e.u16(uint16(len(bd.Elem)))
 		for _, name := range sortedKeys(bd.Elem) {
-			e.str(name)
-			e.f64s(bd.Elem[name])
+			s.e.str(name)
+			s.f64s(bd.Elem[name])
 		}
 	}
-	return e.b
+	s.flush()
+	if s.base > limit {
+		return nil, 0, fmt.Errorf("%w (%d bytes, limit %d)", ErrFrameTooLarge, s.base, limit)
+	}
+	return s.segs, s.copied, nil
 }
 
-// decodeFilePayload parses an encoded FilePayload.
-func decodeFilePayload(body []byte) (*FilePayload, error) {
+// decodeFilePayload parses an encoded FilePayload. When body sits 8-byte
+// aligned in memory (response frames are read into such buffers) the block
+// arrays alias it in place; copied reports the array bytes that were copied
+// out instead.
+func decodeFilePayload(body []byte) (fp *FilePayload, copied int64, err error) {
 	d := dec{b: body}
-	fp := &FilePayload{Time: d.f64(), StepID: d.str()}
+	fp = &FilePayload{Time: d.f64(), StepID: d.str()}
 	nblocks := int(d.u32())
 	for i := 0; i < nblocks && d.err == nil; i++ {
 		bd := &genx.BlockData{
@@ -112,9 +243,9 @@ func decodeFilePayload(body []byte) (*FilePayload, error) {
 		fp.Blocks = append(fp.Blocks, bd)
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("%w: file payload: %v", ErrProtocol, d.err)
+		return nil, 0, fmt.Errorf("%w: file payload: %v", ErrProtocol, d.err)
 	}
-	return fp, nil
+	return fp, d.copied, nil
 }
 
 // encodeSpec serializes the dataset shape answered by OpSpec. The mesh

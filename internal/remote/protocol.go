@@ -16,8 +16,12 @@
 //
 // Request ops: OpPing (empty), OpSpec (empty), OpFetch (str path, u16 nvars,
 // str vars...). Responses: RespOK with an op-specific payload, or RespErr
-// with u16 code + str message. Strings are u16 length + bytes. See DESIGN.md
-// for the full layout and error-code table.
+// with u16 code + str message. Strings are u16 length + bytes. Numeric
+// arrays are u32 count, zero padding to the next 8-byte payload offset,
+// then raw little-endian elements; with response payloads read into 8-byte
+// aligned buffers, the pads let both ends alias array data in place instead
+// of copying it element by element. See DESIGN.md for the full layout and
+// error-code table.
 package remote
 
 import (
@@ -26,11 +30,17 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"sync"
+	"unsafe"
+
+	"godiva/internal/zerocopy"
 )
 
-// Protocol constants.
+// Protocol constants. Version 2 added deterministic alignment pads before
+// array data; v1 peers are refused (both ends live in this repository).
 const (
-	protoVersion = 1
+	protoVersion = 2
 	maxFrame     = 1 << 30 // sanity cap on a frame's length field
 )
 
@@ -89,14 +99,60 @@ func (e *ServerError) Retryable() bool { return e.Code == CodeUnavailable }
 var (
 	// ErrClientClosed is returned by operations on a closed Client.
 	ErrClientClosed = errors.New("remote: client is closed")
-	// ErrProtocol is returned for malformed or oversized frames.
+	// ErrProtocol is returned for malformed frames.
 	ErrProtocol = errors.New("remote: protocol error")
+	// ErrFrameTooLarge is returned when a payload exceeds the protocol's
+	// frame limit. It is enforced on both sides: encoders refuse to build
+	// an unsendable frame (the server answers CodeInternal), and writers
+	// refuse to put one on the wire.
+	ErrFrameTooLarge = errors.New("remote: frame exceeds protocol limit")
 )
 
-// writeFrame writes one frame.
+// --- frame buffers ---
+
+// framePool recycles response-frame buffers between fetches, so a steady
+// fetch workload stops allocating per-response payload buffers entirely
+// (the pooled decode arena of the zero-copy read path). Entries are slices
+// produced by alignedFrameBuf, whose base-address alignment survives
+// reslicing.
+var framePool sync.Pool
+
+// alignedFrameBuf allocates an n-byte frame buffer (version byte, op byte,
+// payload) whose base address is congruent to 6 mod 8, so the payload at
+// buf[2:] starts 8-byte aligned and decoded arrays can alias it in place.
+// Capacity beyond n is kept so pooled buffers can serve later, longer
+// frames without reallocating.
+func alignedFrameBuf(n int) []byte {
+	raw := make([]byte, n+8)
+	base := int(uintptr(unsafe.Pointer(&raw[0])) & 7)
+	pad := (6 - base + 8) & 7
+	return raw[pad : pad+n]
+}
+
+// getFrameBuf returns an n-byte frame buffer from the pool, or a fresh
+// aligned one when the pool is empty or its entry is too small.
+func getFrameBuf(n int) []byte {
+	if v := framePool.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return alignedFrameBuf(n)
+}
+
+// putFrameBuf returns a frame buffer to the pool. Only buffers obtained
+// from getFrameBuf may be put back: the pool assumes their alignment.
+func putFrameBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	framePool.Put(&b)
+}
+
+// writeFrame writes one frame from a contiguous body.
 func writeFrame(w io.Writer, op byte, body []byte) error {
 	if len(body) > maxFrame-2 {
-		return fmt.Errorf("%w: frame too large (%d bytes)", ErrProtocol, len(body))
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, len(body))
 	}
 	hdr := make([]byte, 6)
 	binary.LittleEndian.PutUint32(hdr, uint32(2+len(body)))
@@ -109,24 +165,87 @@ func writeFrame(w io.Writer, op byte, body []byte) error {
 	return err
 }
 
-// readFrame reads one frame, returning its op and payload.
+// writeFrameBuffers writes one frame whose payload is scattered across
+// segments, using a vectored write (net.Buffers, writev on TCP) so borrowed
+// segments — mmap'd dataset payloads, field arrays — reach the socket
+// without first being assembled into one contiguous response buffer.
+func writeFrameBuffers(w io.Writer, op byte, segs [][]byte) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total > maxFrame-2 {
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, total)
+	}
+	hdr := make([]byte, 6)
+	binary.LittleEndian.PutUint32(hdr, uint32(2+total))
+	hdr[4] = protoVersion
+	hdr[5] = op
+	bufs := make(net.Buffers, 0, len(segs)+1)
+	bufs = append(bufs, hdr)
+	for _, s := range segs {
+		if len(s) > 0 {
+			bufs = append(bufs, s)
+		}
+	}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// readFrame reads one frame into a fresh buffer, returning its op and
+// payload. The server uses it for requests, which are small and not worth
+// pooling.
 func readFrame(r io.Reader) (op byte, body []byte, err error) {
+	op, _, body, err = readFrameBuf(r, func(n int) []byte { return alignedFrameBuf(n) })
+	return op, body, err
+}
+
+// readFramePooled reads one frame into a pooled buffer. On success the
+// caller owns buf (the whole frame buffer, backing body) and must hand it
+// to putFrameBuf once the payload is dead; on error the buffer has already
+// been returned to the pool.
+func readFramePooled(r io.Reader) (op byte, buf, body []byte, err error) {
+	op, buf, body, err = readFrameBuf(r, getFrameBuf)
+	if err != nil && buf != nil {
+		putFrameBuf(buf)
+		buf, body = nil, nil
+	}
+	return op, buf, body, err
+}
+
+// readFrameBuf reads one frame into a buffer obtained from get.
+func readFrameBuf(r io.Reader, get func(int) []byte) (op byte, buf, body []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	length := binary.LittleEndian.Uint32(lenBuf[:])
 	if length < 2 || length > maxFrame {
-		return 0, nil, fmt.Errorf("%w: frame length %d", ErrProtocol, length)
+		return 0, nil, nil, fmt.Errorf("%w: frame length %d", ErrProtocol, length)
 	}
-	buf := make([]byte, length)
+	buf = get(int(length))
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		return 0, buf, nil, err
 	}
 	if buf[0] != protoVersion {
-		return 0, nil, fmt.Errorf("%w: version %d", ErrProtocol, buf[0])
+		return 0, buf, nil, fmt.Errorf("%w: version %d", ErrProtocol, buf[0])
 	}
-	return buf[1], buf[2:], nil
+	return buf[1], buf, buf[2:], nil
+}
+
+// flattenSegments assembles scattered frame segments into one contiguous
+// body — the copying fallback used by fault injection and by tests that
+// want the whole payload at once.
+func flattenSegments(segs [][]byte) []byte {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	out := make([]byte, 0, n)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
 }
 
 // --- payload encoding helpers ---
@@ -147,33 +266,14 @@ func (e *enc) str(s string) {
 	e.b = append(e.b, s...)
 }
 
-func (e *enc) f64s(v []float64) {
-	e.u32(uint32(len(v)))
-	for _, x := range v {
-		e.u64(math.Float64bits(x))
-	}
-}
-
-func (e *enc) i32s(v []int32) {
-	e.u32(uint32(len(v)))
-	for _, x := range v {
-		e.u32(uint32(x))
-	}
-}
-
-func (e *enc) i64s(v []int64) {
-	e.u32(uint32(len(v)))
-	for _, x := range v {
-		e.u64(uint64(x))
-	}
-}
-
 // dec walks a payload, remembering the first error (same shape as the shdf
-// directory decoder).
+// directory decoder). copied counts array bytes that had to be decoded
+// element by element instead of aliased in place.
 type dec struct {
-	b   []byte
-	off int
-	err error
+	b      []byte
+	off    int
+	err    error
+	copied int64
 }
 
 func (d *dec) need(n int) []byte {
@@ -228,39 +328,72 @@ func (d *dec) count(elemSize int) int {
 	return n
 }
 
+// align skips the zero pad an encoder wrote to bring the next field to an
+// n-byte payload offset (n a power of two). Deterministic from the offset
+// alone, so it needs no bytes of its own on a boundary.
+//
+//godiva:noalloc
+func (d *dec) align(n int) {
+	if pad := (n - d.off%n) % n; pad > 0 {
+		d.need(pad)
+	}
+}
+
+// f64s decodes an array of float64. When the frame body sits in an aligned
+// buffer (readFrame allocates payloads 8-byte aligned, and encoders pad
+// array data to 8-byte payload offsets) the returned slice aliases the body
+// in place; otherwise the elements are copied out and counted in d.copied.
 func (d *dec) f64s() []float64 {
 	n := d.count(8)
-	if d.err != nil {
+	d.align(8)
+	raw := d.need(8 * n)
+	if raw == nil {
 		return nil
+	}
+	if v, ok := zerocopy.F64s(raw); ok {
+		return v
 	}
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = d.f64()
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
 	}
+	d.copied += int64(8 * n)
 	return out
 }
 
 func (d *dec) i32s() []int32 {
 	n := d.count(4)
-	if d.err != nil {
+	d.align(8)
+	raw := d.need(4 * n)
+	if raw == nil {
 		return nil
+	}
+	if v, ok := zerocopy.I32s(raw); ok {
+		return v
 	}
 	out := make([]int32, n)
 	for i := range out {
-		out[i] = int32(d.u32())
+		out[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
 	}
+	d.copied += int64(4 * n)
 	return out
 }
 
 func (d *dec) i64s() []int64 {
 	n := d.count(8)
-	if d.err != nil {
+	d.align(8)
+	raw := d.need(8 * n)
+	if raw == nil {
 		return nil
+	}
+	if v, ok := zerocopy.I64s(raw); ok {
+		return v
 	}
 	out := make([]int64, n)
 	for i := range out {
-		out[i] = int64(d.u64())
+		out[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
 	}
+	d.copied += int64(8 * n)
 	return out
 }
 

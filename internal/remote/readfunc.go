@@ -16,7 +16,8 @@ type Resolver func(unit string) ([]string, error)
 // CommitFunc stores one fetched block into the database through the unit
 // handle, the remote counterpart of the commit step inside a local read
 // function. It must copy field data into database buffers: the BlockData
-// may be shared with coalesced fetchers.
+// may be shared with coalesced fetchers, and its arrays alias a pooled
+// response buffer that NewReadFunc recycles once the file is committed.
 type CommitFunc func(u *core.Unit, bd *genx.BlockData) error
 
 // NewReadFunc manufactures a developer-supplied read function (paper §3.3)
@@ -39,9 +40,13 @@ func NewReadFunc(c *Client, resolve Resolver, vars []string, commit CommitFunc) 
 			}
 			for _, bd := range fp.Blocks {
 				if err := commit(u, bd); err != nil {
+					fp.Recycle()
 					return fmt.Errorf("remote: commit %s block %s: %w", path, bd.Name, err)
 				}
 			}
+			// Committed buffers are copies; the payload's backing frame can
+			// go back to the pool for the next fetch.
+			fp.Recycle()
 		}
 		return nil
 	}

@@ -68,9 +68,12 @@ type ServerStats struct {
 	Errors         int64 // error responses sent (excluding injected faults)
 	FaultsInjected int64 // responses dropped, delayed or failed by Faults
 	BytesOut       int64 // response frame bytes written
-	ReaderHits     int64 // fetches served by a cached open reader
-	ReaderOpens    int64 // snapshot files opened
-	ReaderEvicts   int64 // cached readers closed by LRU pressure
+	BytesCopied    int64 // payload array bytes copied into response frames
+	//                      (scatter-send borrows the rest straight from the
+	//                      dataset; nonzero only on big-endian hosts)
+	ReaderHits   int64 // fetches served by a cached open reader
+	ReaderOpens  int64 // snapshot files opened
+	ReaderEvicts int64 // cached readers closed by LRU pressure
 }
 
 // Server serves unit payloads out of a directory of SHDF snapshot files.
@@ -228,7 +231,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return // client went away, idled out, or sent garbage
 		}
-		rop, rbody := s.handleRequest(op, body)
+		rop, segs, done := s.handleRequest(op, body)
+		// done pins server-side resources the response segments borrow
+		// (the cached snapshot reader, whose mmap'd payloads the segments
+		// may alias); it must run after the frame has left — and on every
+		// early return — before the reader becomes evictable again.
+		release := func() {
+			if done != nil {
+				done()
+				done = nil
+			}
+		}
 
 		// Fault injection on the data path only, so health checks and spec
 		// discovery stay reliable.
@@ -238,6 +251,8 @@ func (s *Server) handleConn(conn net.Conn) {
 				// Sever mid-payload: the header promises the full response,
 				// but only a prefix of the body follows before the hang-up —
 				// the client sees an unexpected EOF partway through.
+				rbody := flattenSegments(segs)
+				release()
 				cut := len(rbody) / 2
 				if cut > 4096 {
 					cut = 4096
@@ -249,18 +264,25 @@ func (s *Server) handleConn(conn net.Conn) {
 				conn.Write(append(hdr, rbody[:cut]...))
 				return
 			case faultErr:
-				rop, rbody = RespErr, encodeErr(CodeUnavailable, "injected fault")
+				release()
+				rop, segs = RespErr, [][]byte{encodeErr(CodeUnavailable, "injected fault")}
 			case faultDelay:
 				time.Sleep(delay)
 			}
 		}
 
+		blen := 0
+		for _, seg := range segs {
+			blen += len(seg)
+		}
 		conn.SetWriteDeadline(time.Now().Add(s.opts.IdleTimeout))
-		if err := writeFrame(conn, rop, rbody); err != nil {
+		err = writeFrameBuffers(conn, rop, segs)
+		release()
+		if err != nil {
 			return
 		}
 		s.mu.Lock()
-		s.stats.BytesOut += int64(6 + len(rbody))
+		s.stats.BytesOut += int64(6 + blen)
 		s.mu.Unlock()
 	}
 }
@@ -289,42 +311,53 @@ func (s *Server) faultAction() (int, time.Duration) {
 	return action, f.Delay
 }
 
-// handleRequest dispatches one request and returns the response frame. A
-// panic anywhere in the read path (e.g. a decoder bug on a damaged snapshot)
-// is converted into a clean CodeInternal response rather than killing the
+// handleRequest dispatches one request and returns the response frame as
+// scattered segments, plus a non-nil done when the segments borrow pinned
+// server state (the caller runs it once the frame is written). A panic
+// anywhere in the read path (e.g. a decoder bug on a damaged snapshot) is
+// converted into a clean CodeInternal response rather than killing the
 // connection handler.
-func (s *Server) handleRequest(op byte, body []byte) (rop byte, rbody []byte) {
+func (s *Server) handleRequest(op byte, body []byte) (rop byte, segs [][]byte, done func()) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.logf("remote: panic serving op %#02x: %v", op, r)
-			rop, rbody = RespErr, encodeErr(CodeInternal, fmt.Sprintf("panic: %v", r))
+			rop, segs, done = RespErr, [][]byte{encodeErr(CodeInternal, fmt.Sprintf("panic: %v", r))}, nil
 		}
 	}()
-	countErr := func(code uint16, msg string) (byte, []byte) {
+	countErr := func(code uint16, msg string) (byte, [][]byte, func()) {
 		s.mu.Lock()
 		s.stats.Errors++
 		s.mu.Unlock()
-		return RespErr, encodeErr(code, msg)
+		return RespErr, [][]byte{encodeErr(code, msg)}, nil
 	}
 	s.mu.Lock()
 	s.stats.RPCs++
 	s.mu.Unlock()
 	switch op {
 	case OpPing:
-		return RespOK, nil
+		return RespOK, nil, nil
 	case OpSpec:
-		return RespOK, encodeSpec(s.spec)
+		return RespOK, [][]byte{encodeSpec(s.spec)}, nil
 	case OpFetch:
 		path, vars, err := decodeFetchReq(body)
 		if err != nil {
 			return countErr(CodeBadRequest, err.Error())
 		}
-		fp, err := s.fetch(path, vars)
+		fp, release, err := s.fetch(path, vars)
 		if err != nil {
 			s.logf("remote: fetch %s: %v", path, err)
 			return countErr(errCode(err), err.Error())
 		}
-		return RespOK, encodeFilePayload(fp)
+		segs, copied, err := encodeFilePayloadSegments(fp, maxFrame-2)
+		if err != nil {
+			release()
+			s.logf("remote: fetch %s: %v", path, err)
+			return countErr(errCode(err), err.Error())
+		}
+		s.mu.Lock()
+		s.stats.BytesCopied += copied
+		s.mu.Unlock()
+		return RespOK, segs, release
 	default:
 		return countErr(CodeBadRequest, fmt.Sprintf("unknown op %#02x", op))
 	}
@@ -336,6 +369,8 @@ func errCode(err error) uint16 {
 	switch {
 	case errors.As(err, &se):
 		return se.Code
+	case errors.Is(err, ErrFrameTooLarge):
+		return CodeInternal
 	case os.IsNotExist(err):
 		return CodeNotFound
 	case errors.Is(err, shdf.ErrNotSHDF),
@@ -349,22 +384,31 @@ func errCode(err error) uint16 {
 	}
 }
 
-// fetch reads one snapshot file's blocks through the reader cache.
-func (s *Server) fetch(path string, vars []string) (*FilePayload, error) {
+// fetch reads one snapshot file's blocks through the reader cache. On
+// success the returned done func releases the cache entry: the payload's
+// arrays may alias the open reader's mmap'd payloads, so the entry stays
+// pinned (unevictable, its mapping intact) until the caller has finished
+// with the payload — for OpFetch, until the response frame has been
+// written to the socket.
+func (s *Server) fetch(path string, vars []string) (fp *FilePayload, done func(), err error) {
 	if path == "" || !filepath.IsLocal(path) || !strings.HasSuffix(path, ".shdf") {
-		return nil, &ServerError{Code: CodeBadRequest, Msg: fmt.Sprintf("bad path %q", path)}
+		return nil, nil, &ServerError{Code: CodeBadRequest, Msg: fmt.Sprintf("bad path %q", path)}
 	}
 	ent, err := s.cache.acquire(filepath.Join(s.opts.Dir, path))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	defer s.cache.release(ent)
+	defer func() {
+		if done == nil {
+			s.cache.release(ent)
+		}
+	}()
 	// The genx file handle tracks a read position (for platform-cost
 	// modeling), so reads through one handle are serialized; concurrency
 	// comes from the cache holding many files open.
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
-	fp := &FilePayload{Path: path, Time: ent.h.Time, StepID: ent.h.StepID}
+	fp = &FilePayload{Path: path, Time: ent.h.Time, StepID: ent.h.StepID}
 	for _, e := range ent.h.Blocks() {
 		// lint:ignore deadlockcheck reading under ent.mu is the documented
 		// per-handle serialization (the handle tracks a read position);
@@ -372,11 +416,11 @@ func (s *Server) fetch(path string, vars []string) (*FilePayload, error) {
 		// leaves, never the reverse.
 		bd, err := ent.h.ReadBlock(e, vars)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fp.Blocks = append(fp.Blocks, bd)
 	}
-	return fp, nil
+	return fp, func() { s.cache.release(ent) }, nil
 }
 
 // --- LRU cache of open snapshot readers ---
@@ -426,7 +470,10 @@ func (rc *readerCache) acquire(path string) (*cacheEntry, error) {
 	// lint:ignore deadlockcheck opening under rc.mu gives each path
 	// single-open semantics (concurrent misses for one file dial the disk
 	// once); rc.mu is ordered before the platform leaves only.
-	h, err := (&genx.Reader{}).Open(path)
+	// Mapped readers make fetched payloads alias the snapshot file's mmap,
+	// so scatter-send writes them straight from the page cache; shdf falls
+	// back to heap-backed reads where mmap is unavailable.
+	h, err := (&genx.Reader{Mapped: true}).Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,14 @@
+//go:build !(linux || darwin)
+
+package shdf
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile always fails on platforms without a wired-up mmap; OpenMapped
+// falls back to the ReadAt path.
+func mmapFile(*os.File, int64) ([]byte, error) { return nil, errors.ErrUnsupported }
+
+func munmapFile([]byte) error { return nil }

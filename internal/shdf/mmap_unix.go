@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package shdf
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping is shared: it sees
+// the file's bytes without any copy, and writing through it is forbidden
+// (PROT_READ — stores fault).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shdf: cannot map %d-byte file", size)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("shdf: file too large to map (%d bytes)", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,39 @@
+// AllocsPerRun gates for this package's //godiva:noalloc functions — the
+// runtime cross-check of the alloccheck analyzer (see internal/noalloctest).
+// Excluded under -race: the race runtime instruments allocation sites and
+// the measurements stop meaning anything.
+
+//go:build !race
+
+package shdf
+
+import (
+	"bytes"
+	"testing"
+
+	"godiva/internal/noalloctest"
+)
+
+func TestNoAllocGates(t *testing.T) {
+	img, sds, _, _ := zcSampleImage(t)
+	f, err := NewFile(bytes.NewReader(img), int64(len(img)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Raw(sds); err != nil { // warm the memo
+		t.Fatal(err)
+	}
+	var p []byte
+	noalloctest.Check(t, ".", map[string]func(){
+		"File.cachedPayload": func() {
+			var ok bool
+			p, _, ok = f.cachedPayload(sds)
+			if !ok {
+				panic("payload not cached")
+			}
+		},
+	})
+	if len(p) == 0 && !t.Failed() {
+		t.Error("cachedPayload gate returned no payload")
+	}
+}

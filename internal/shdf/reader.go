@@ -1,6 +1,7 @@
 package shdf
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -8,16 +9,29 @@ import (
 	"math"
 	"os"
 	"sort"
+	"sync"
+
+	"godiva/internal/zerocopy"
 )
 
 // File is an opened SHDF file: its directory is in memory, object payloads
-// are read on demand.
+// are read on demand and memoized once their CRC has been verified.
+//
+// Borrowing contract: payload bytes returned by Raw — and Dataset views
+// flagged Borrowed — alias memory owned by the File (the mmap, or the
+// verified payload cache). They are strictly read-only; writing through a
+// borrowed view corrupts every later read of the same ref, and faults
+// outright on a mapped file. Borrowed views of a mapped file are valid only
+// until Close unmaps the file.
 type File struct {
 	r       io.ReaderAt
 	f       *os.File // non-nil when opened by path
 	size    int64
 	entries []dirEntry
 	byRef   map[Ref]int
+
+	mapping []byte     // non-nil when opened by OpenMapped and mmap succeeded
+	mu      sync.Mutex // guards entries' payload/verified memoization
 }
 
 // Open opens the named SHDF file.
@@ -40,6 +54,45 @@ func Open(path string) (*File, error) {
 	return f, nil
 }
 
+// OpenMapped opens the named SHDF file with its contents memory-mapped, so
+// payload access borrows subslices of the mapping instead of allocating and
+// reading. When the platform has no mmap or the map fails for any reason it
+// falls back to the ReadAt path of Open — the returned File behaves
+// identically either way (Mapped reports which mode was chosen).
+func OpenMapped(path string) (*File, error) {
+	osf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := osf.Stat()
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	m, err := mmapFile(osf, st.Size())
+	if err != nil {
+		f, err := NewFile(osf, st.Size())
+		if err != nil {
+			osf.Close()
+			return nil, err
+		}
+		f.f = osf
+		return f, nil
+	}
+	f, err := NewFile(bytes.NewReader(m), st.Size())
+	if err != nil {
+		munmapFile(m)
+		osf.Close()
+		return nil, err
+	}
+	f.f = osf
+	f.mapping = m
+	return f, nil
+}
+
+// Mapped reports whether the file's contents are memory-mapped.
+func (f *File) Mapped() bool { return f.mapping != nil }
+
 // NewFile opens an SHDF image held by an io.ReaderAt of the given size.
 func NewFile(r io.ReaderAt, size int64) (*File, error) {
 	if size < 0 {
@@ -55,12 +108,31 @@ func NewFile(r io.ReaderAt, size int64) (*File, error) {
 	return f, nil
 }
 
-// Close closes the underlying file if the File owns it.
+// Close unmaps the file (if mapped) and closes the underlying file if the
+// File owns it. Borrowed payloads of a mapped file are invalid afterwards;
+// the payload cache is dropped so later reads fail cleanly instead of
+// touching unmapped memory.
 func (f *File) Close() error {
-	if f.f != nil {
-		return f.f.Close()
+	var err error
+	f.mu.Lock()
+	if f.mapping != nil {
+		for i := range f.entries {
+			f.entries[i].payload = nil
+			f.entries[i].verified = false
+		}
+		err = munmapFile(f.mapping)
+		f.mapping = nil
+		// f.r aliased the mapping; it must not be read again.
+		f.r = closedReaderAt{}
 	}
-	return nil
+	f.mu.Unlock()
+	if f.f != nil {
+		if cerr := f.f.Close(); err == nil {
+			err = cerr
+		}
+		f.f = nil
+	}
+	return err
 }
 
 func (f *File) readHeader() error {
@@ -229,20 +301,87 @@ func (f *File) FindByName(tag Tag, name string) (ObjectInfo, error) {
 	return ObjectInfo{}, fmt.Errorf("%w: %v %q", ErrNoObject, tag, name)
 }
 
+// closedReaderAt replaces a mapped File's reader after Close, so late reads
+// fail instead of touching unmapped memory.
+type closedReaderAt struct{}
+
+func (closedReaderAt) ReadAt([]byte, int64) (int, error) { return 0, os.ErrClosed }
+
+// cachedPayload is the steady-state read path: a verified payload comes
+// straight from the memo with no I/O, no hashing, and no allocation.
+//
+//godiva:noalloc
+func (f *File) cachedPayload(ref Ref) ([]byte, *dirEntry, bool) {
+	f.mu.Lock()
+	i, ok := f.byRef[ref]
+	if !ok {
+		f.mu.Unlock()
+		return nil, nil, false
+	}
+	e := &f.entries[i]
+	if !e.verified {
+		f.mu.Unlock()
+		return nil, e, false
+	}
+	p := e.payload
+	f.mu.Unlock()
+	return p, e, true
+}
+
+// payloadFor returns the verified payload bytes for ref, borrowed from the
+// File. The CRC is validated exactly once per directory entry: the first
+// access reads (or, when mapped, aliases) the bytes and checks the sum;
+// every later access hits the memo.
 func (f *File) payloadFor(ref Ref) ([]byte, *dirEntry, error) {
+	if p, e, ok := f.cachedPayload(ref); ok {
+		return p, e, nil
+	}
+	return f.loadPayload(ref)
+}
+
+func (f *File) loadPayload(ref Ref) ([]byte, *dirEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	i, ok := f.byRef[ref]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: ref %d", ErrNoObject, ref)
 	}
 	e := &f.entries[i]
-	buf := make([]byte, e.length)
-	if _, err := f.r.ReadAt(buf, int64(e.offset)); err != nil {
-		return nil, nil, fmt.Errorf("%w: object %q: %v", ErrCorrupt, e.name, err)
+	if e.verified { // raced with another loader
+		return e.payload, e, nil
+	}
+	var buf []byte
+	if f.mapping != nil {
+		// readDirectory bounds-checked offset+length against the directory
+		// offset, which is within the mapping.
+		buf = f.mapping[e.offset : e.offset+e.length : e.offset+e.length]
+	} else {
+		// Allocate at base ≡ 4 (mod 8) so an SDS data section — at payload
+		// offset 4+8·rank ≡ 4 (mod 8) — lands 8-aligned and ReadSDS can alias
+		// it instead of decode-copying.
+		buf = zerocopy.MakeOffsetAligned(int(e.length), 8, 4)
+		// The serialized read below holds f.mu, like the reader-cache handles
+		// in internal/remote: payload loads are intentionally one-at-a-time
+		// per File, and nothing the I/O depends on waits on this mutex.
+		//lint:ignore deadlockcheck payload reads are serialized per File by design; no lock-order cycle is possible through os.File.ReadAt
+		if _, err := f.r.ReadAt(buf, int64(e.offset)); err != nil {
+			return nil, nil, fmt.Errorf("%w: object %q: %v", ErrCorrupt, e.name, err)
+		}
 	}
 	if crc32.ChecksumIEEE(buf) != e.crc {
 		return nil, nil, fmt.Errorf("%w: object %q", ErrChecksum, e.name)
 	}
+	e.payload = buf
+	e.verified = true
 	return buf, e, nil
+}
+
+// Raw returns the verified payload bytes for ref, borrowed from the File
+// under the borrowing contract in the File doc comment: read-only, and for
+// mapped files valid only until Close.
+func (f *File) Raw(ref Ref) ([]byte, error) {
+	buf, _, err := f.payloadFor(ref)
+	return buf, err
 }
 
 // Dataset is a decoded SDS: element type, dimensions, and the data in its
@@ -257,6 +396,14 @@ type Dataset struct {
 	Int64s   []int64
 	Float32s []float32
 	Float64s []float64
+
+	// Borrowed reports that the data slice above aliases memory owned by
+	// the File (the mapping or the verified payload cache) instead of a
+	// private copy. Borrowed data is read-only, and for mapped files must
+	// not be used after the File is closed. It is set whenever the payload's
+	// data section is naturally aligned on a little-endian host; callers
+	// needing a private mutable copy must copy explicitly.
+	Borrowed bool
 }
 
 // Len returns the number of elements.
@@ -311,25 +458,45 @@ func (f *File) ReadSDS(ref Ref) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: SDS %q data", ErrCorrupt, e.name)
 	}
 	ds := &Dataset{Name: e.name, Type: nt, Dims: dims}
+	// The payload is memoized and verified, so the data section can be
+	// aliased instead of decode-copied when its alignment and the host's
+	// endianness allow; the copying decode below remains the fallback.
 	switch nt {
 	case TypeUint8:
-		ds.Uint8s = append([]uint8(nil), raw...)
+		ds.Uint8s = raw[:len(raw):len(raw)]
+		ds.Borrowed = true
 	case TypeInt32:
+		if v, ok := zerocopy.I32s(raw); ok {
+			ds.Int32s, ds.Borrowed = v, true
+			break
+		}
 		ds.Int32s = make([]int32, n)
 		for i := range ds.Int32s {
 			ds.Int32s[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
 		}
 	case TypeInt64:
+		if v, ok := zerocopy.I64s(raw); ok {
+			ds.Int64s, ds.Borrowed = v, true
+			break
+		}
 		ds.Int64s = make([]int64, n)
 		for i := range ds.Int64s {
 			ds.Int64s[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
 		}
 	case TypeFloat32:
+		if v, ok := zerocopy.F32s(raw); ok {
+			ds.Float32s, ds.Borrowed = v, true
+			break
+		}
 		ds.Float32s = make([]float32, n)
 		for i := range ds.Float32s {
 			ds.Float32s[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
 		}
 	case TypeFloat64:
+		if v, ok := zerocopy.F64s(raw); ok {
+			ds.Float64s, ds.Borrowed = v, true
+			break
+		}
 		ds.Float64s = make([]float64, n)
 		for i := range ds.Float64s {
 			ds.Float64s[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))

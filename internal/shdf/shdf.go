@@ -114,7 +114,11 @@ var (
 	ErrWriterDone = errors.New("shdf: writer already closed")
 )
 
-// dirEntry is one directory record.
+// dirEntry is one directory record. Readers additionally memoize the
+// verified payload here: after the first access the CRC has been checked
+// exactly once and payload holds the bytes (a subslice of the mapping for
+// mapped files, a private heap buffer otherwise), so repeated access to a
+// hot object costs neither I/O nor hashing.
 type dirEntry struct {
 	tag    Tag
 	ref    Ref
@@ -122,4 +126,7 @@ type dirEntry struct {
 	length uint64
 	crc    uint32
 	name   string
+
+	payload  []byte // verified payload bytes; only meaningful when verified
+	verified bool   // CRC checked once; payload is usable
 }

@@ -62,6 +62,28 @@ func (p *payload) u16(v uint16) { p.buf = binary.LittleEndian.AppendUint16(p.buf
 func (p *payload) u32(v uint32) { p.buf = binary.LittleEndian.AppendUint32(p.buf, v) }
 func (p *payload) u64(v uint64) { p.buf = binary.LittleEndian.AppendUint64(p.buf, v) }
 
+// alignForSDS advances the stream to the next offset ≡ 4 (mod 8) with zero
+// bytes, so the SDS payload written next has an 8-aligned data section.
+func (w *Writer) alignForSDS() error {
+	if w.done {
+		return ErrWriterDone
+	}
+	if w.err != nil {
+		return w.err
+	}
+	pad := (4 - w.offset%8 + 8) % 8
+	if pad == 0 {
+		return nil
+	}
+	var zeros [8]byte
+	if _, err := w.w.Write(zeros[:pad]); err != nil {
+		w.err = err
+		return err
+	}
+	w.offset += pad
+	return nil
+}
+
 func (w *Writer) addObject(tag Tag, name string, p *payload) (Ref, error) {
 	if w.done {
 		return 0, ErrWriterDone
@@ -120,6 +142,13 @@ func (w *Writer) WriteSDS(name string, dims []int, data any) (Ref, error) {
 	}
 	if count != n {
 		return 0, fmt.Errorf("%w: dims %v hold %d elements, data has %d", ErrBadShape, dims, n, count)
+	}
+	// Pad the stream so this payload starts at offset ≡ 4 (mod 8), which
+	// puts the data section (payload offset 4+8·rank) on an 8-byte boundary.
+	// Mapped readers can then alias the data in place; the pad bytes sit
+	// between payloads and are invisible to the directory.
+	if err := w.alignForSDS(); err != nil {
+		return 0, err
 	}
 	p.u16(uint16(nt))
 	p.u16(uint16(len(dims)))

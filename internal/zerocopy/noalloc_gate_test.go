@@ -1,0 +1,52 @@
+// AllocsPerRun gates for this package's //godiva:noalloc functions (see
+// internal/noalloctest): every aliasing primitive on the zero-copy read
+// path must stay allocation-free — these run per array, per payload, on
+// every fetch and mmap'd read. Excluded under -race, whose instrumented
+// runtime makes allocation counts meaningless.
+
+//go:build !race
+
+package zerocopy
+
+import (
+	"testing"
+
+	"godiva/internal/noalloctest"
+)
+
+func TestNoAllocGates(t *testing.T) {
+	f64 := make([]float64, 16)
+	f32 := make([]float32, 16)
+	i32 := make([]int32, 16)
+	i64 := make([]int64, 16)
+	b8, _ := BytesOfF64s(f64)
+	b4, _ := BytesOfF32s(f32)
+	var (
+		ok   bool
+		vF64 []float64
+		vF32 []float32
+		vI32 []int32
+		vI64 []int64
+		bs   []byte
+	)
+	noalloctest.Check(t, ".", map[string]func(){
+		"aligned":     func() { ok = aligned(64, 8) },
+		"Aligned":     func() { ok = Aligned(b8, 8) },
+		"F64s":        func() { vF64, ok = F64s(b8) },
+		"F32s":        func() { vF32, ok = F32s(b4) },
+		"I32s":        func() { vI32, ok = I32s(b4) },
+		"I64s":        func() { vI64, ok = I64s(b8) },
+		"BytesOfF64s": func() { bs, ok = BytesOfF64s(f64) },
+		"BytesOfF32s": func() { bs, ok = BytesOfF32s(f32) },
+		"BytesOfI32s": func() { bs, ok = BytesOfI32s(i32) },
+		"BytesOfI64s": func() { bs, ok = BytesOfI64s(i64) },
+	})
+	if t.Failed() {
+		return
+	}
+	// On this host (gates only measure, they don't assert endianness) the
+	// last round of calls must have produced live views.
+	if LittleEndian && (!ok || vF64 == nil || vF32 == nil || vI32 == nil || vI64 == nil || bs == nil) {
+		t.Error("gates left nil views on a little-endian host")
+	}
+}

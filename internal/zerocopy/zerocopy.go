@@ -1,0 +1,179 @@
+// Package zerocopy reinterprets byte slices as typed numeric slices (and
+// back) without copying, when the platform allows it. It is the common seam
+// of the zero-copy read path: the shdf reader aliases mmap'd payloads as
+// Dataset views, the remote wire path aliases response bodies as field
+// arrays and field arrays as scatter-send segments, and core.Buffer adopts
+// donated byte slices as typed buffers.
+//
+// An alias is only produced when (a) the host is little-endian, so the
+// in-memory representation matches the on-disk/wire format byte for byte,
+// and (b) the slice is naturally aligned for the element type. Every
+// function reports success; on false the caller must fall back to the
+// copying decode, which is always correct. Callers own the aliasing
+// contract: an aliased slice shares memory with its source, so writes
+// through either are visible through both (and fault on read-only
+// mappings).
+package zerocopy
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// LittleEndian reports whether the host stores integers little-endian —
+// the precondition for aliasing wire/disk bytes (always little-endian in
+// this repository's formats) as typed values.
+var LittleEndian = isLittleEndian()
+
+func isLittleEndian() bool {
+	var probe [2]byte
+	binary.NativeEndian.PutUint16(probe[:], 0x01FE)
+	return probe[0] == 0xFE
+}
+
+// Shared empty results: aliasing an empty slice has no bytes to share, but
+// callers distinguish "decoded an empty array" (non-nil) from "cannot
+// alias" (nil), and the hot-path functions below must not allocate even a
+// zero-length header's backing.
+var (
+	emptyBytes = make([]byte, 0)
+	emptyF64s  = make([]float64, 0)
+	emptyF32s  = make([]float32, 0)
+	emptyI32s  = make([]int32, 0)
+	emptyI64s  = make([]int64, 0)
+)
+
+// aligned reports whether p is a multiple of align (a power of two).
+//
+//godiva:noalloc
+func aligned(p uintptr, align uintptr) bool { return p&(align-1) == 0 }
+
+// Aligned reports whether b's first byte sits on an align-byte boundary.
+// An empty slice is trivially aligned.
+//
+//godiva:noalloc
+func Aligned(b []byte, align int) bool {
+	if len(b) == 0 {
+		return true
+	}
+	return aligned(uintptr(unsafe.Pointer(&b[0])), uintptr(align))
+}
+
+// MakeOffsetAligned allocates n bytes whose first byte sits at an address
+// congruent to rem modulo align (a power of two ≤ 64). Readers use it to
+// place decoded images so that an interior data section — at a fixed offset
+// ≡ rem' within the buffer — lands naturally aligned for aliasing.
+func MakeOffsetAligned(n, align, rem int) []byte {
+	raw := make([]byte, n+align)
+	base := int(uintptr(unsafe.Pointer(&raw[0])) & uintptr(align-1))
+	pad := (rem - base + align) & (align - 1)
+	return raw[pad : pad+n : pad+n]
+}
+
+// F64s aliases b as a []float64. ok is false — and the result nil — when
+// the host is big-endian, b is not 8-byte aligned, or len(b) is not a
+// multiple of 8.
+//
+//godiva:noalloc
+func F64s(b []byte) (v []float64, ok bool) {
+	if !LittleEndian || len(b)%8 != 0 || !Aligned(b, 8) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return emptyF64s, true
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// F32s aliases b as a []float32 (4-byte alignment).
+//
+//godiva:noalloc
+func F32s(b []byte) (v []float32, ok bool) {
+	if !LittleEndian || len(b)%4 != 0 || !Aligned(b, 4) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return emptyF32s, true
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+// I32s aliases b as a []int32 (4-byte alignment).
+//
+//godiva:noalloc
+func I32s(b []byte) (v []int32, ok bool) {
+	if !LittleEndian || len(b)%4 != 0 || !Aligned(b, 4) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return emptyI32s, true
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+// I64s aliases b as a []int64 (8-byte alignment).
+//
+//godiva:noalloc
+func I64s(b []byte) (v []int64, ok bool) {
+	if !LittleEndian || len(b)%8 != 0 || !Aligned(b, 8) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return emptyI64s, true
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// BytesOfF64s aliases v's elements as raw little-endian bytes. ok is false
+// on big-endian hosts (bytes would be in the wrong order for the wire).
+// Typed slices are always naturally aligned, so alignment cannot fail.
+//
+//godiva:noalloc
+func BytesOfF64s(v []float64) (b []byte, ok bool) {
+	if !LittleEndian {
+		return nil, false
+	}
+	if len(v) == 0 {
+		return emptyBytes, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)), true
+}
+
+// BytesOfF32s aliases v's elements as raw little-endian bytes.
+//
+//godiva:noalloc
+func BytesOfF32s(v []float32) (b []byte, ok bool) {
+	if !LittleEndian {
+		return nil, false
+	}
+	if len(v) == 0 {
+		return emptyBytes, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)), true
+}
+
+// BytesOfI32s aliases v's elements as raw little-endian bytes.
+//
+//godiva:noalloc
+func BytesOfI32s(v []int32) (b []byte, ok bool) {
+	if !LittleEndian {
+		return nil, false
+	}
+	if len(v) == 0 {
+		return emptyBytes, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)), true
+}
+
+// BytesOfI64s aliases v's elements as raw little-endian bytes.
+//
+//godiva:noalloc
+func BytesOfI64s(v []int64) (b []byte, ok bool) {
+	if !LittleEndian {
+		return nil, false
+	}
+	if len(v) == 0 {
+		return emptyBytes, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)), true
+}

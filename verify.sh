@@ -10,6 +10,9 @@
 #               reports zero findings; non-zero findings fail the gate
 #   test        full test suite, caching disabled (-count=1) so the noalloc
 #               AllocsPerRun gates re-measure on every run
+#   benchmem    core query benchmarks under -benchmem; any benchmark
+#               reporting nonzero allocs/op is an allocation regression on
+#               the zero-alloc query path and fails the gate
 #   race-core   race-detector pass over the concurrent core
 #   race-remote race-detector pass over the remote unit service
 #   race-platform race-detector pass over the virtual-machine model
@@ -63,11 +66,28 @@ check_gofmt() {
     fi
 }
 
+check_benchmem() {
+    out=$(go test -run '^$' \
+        -bench 'BenchmarkConcurrentQuery|BenchmarkKeyLookup|BenchmarkStatsSnapshot' \
+        -benchmem -benchtime 1000x -count=1 ./internal/core) || {
+        echo "$out"
+        return 1
+    }
+    echo "$out"
+    bad=$(echo "$out" | awk '$NF == "allocs/op" && $(NF-1) != "0"')
+    if [ -n "$bad" ]; then
+        echo "benchmem: query benchmarks must stay allocation-free, but:" >&2
+        echo "$bad" >&2
+        return 1
+    fi
+}
+
 run_stage fmt check_gofmt
 run_stage vet go vet ./...
 run_stage build go build ./...
 run_stage lint go run ./cmd/godiva-lint -tags godivainvariants ./...
 run_stage test go test -count=1 ./...
+run_stage benchmem check_benchmem
 run_stage race-core go test -race -count=1 ./internal/core/...
 run_stage race-remote go test -race -count=1 ./internal/remote/...
 run_stage race-platform go test -race -count=1 ./internal/platform/...
@@ -77,7 +97,7 @@ run_stage fuzz go test -fuzz=FuzzReader -fuzztime="${VERIFY_FUZZTIME:-10s}" -run
 if [ -n "$only_stage" ]; then
     if [ "$stage_seen" -eq 0 ]; then
         echo "verify.sh: unknown stage \"$only_stage\"" >&2
-        echo "stages: fmt vet build lint test race-core race-remote race-platform invariants fuzz" >&2
+        echo "stages: fmt vet build lint test benchmem race-core race-remote race-platform invariants fuzz" >&2
         exit 2
     fi
     echo "verify.sh: stage $only_stage passed"
