@@ -9,14 +9,22 @@
 //
 // -scale divides the full-size mesh (about 96,600 nodes and 460,800
 // elements) for quick experiments; -scale 1 writes the full dataset.
+//
+// With -stream the dataset is not written locally: genxgen becomes a live
+// producer, pushing one snapshot file at a time to an ingest-enabled
+// godivad server (see godivad -ingest), paced by -interval:
+//
+//	genxgen -stream 127.0.0.1:7144 -scale 8 -interval 100ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"godiva/internal/genx"
+	"godiva/internal/remote"
 )
 
 func main() {
@@ -26,6 +34,8 @@ func main() {
 		snapshots = flag.Int("snapshots", 0, "snapshot count (0 = spec default)")
 		blocks    = flag.Int("blocks", 0, "partition blocks (0 = spec default)")
 		files     = flag.Int("files", 0, "files per snapshot (0 = spec default)")
+		stream    = flag.String("stream", "", "godivad address: push snapshots live instead of writing -out")
+		interval  = flag.Duration("interval", 0, "pause between streamed snapshot files")
 	)
 	flag.Parse()
 
@@ -42,6 +52,13 @@ func main() {
 	cells := 6 * spec.Mesh.NR * spec.Mesh.NTheta * spec.Mesh.NZ
 	fmt.Printf("generating %d snapshots x %d files: %d blocks, %d elements\n",
 		spec.Snapshots, spec.FilesPerSnapshot, spec.Blocks, cells)
+	if *stream != "" {
+		if err := streamTo(*stream, spec, *interval); err != nil {
+			fmt.Fprintln(os.Stderr, "genxgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	blocksOut, err := genx.WriteDataset(spec, *out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genxgen:", err)
@@ -53,4 +70,42 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d block meshes, %d nodes total (with boundary duplication)\n",
 		*out, len(blocksOut), nodes)
+}
+
+// streamTo pushes the dataset to an ingest-enabled godivad, one snapshot
+// file per OpIngest, pacing each file by interval.
+func streamTo(addr string, spec genx.Spec, interval time.Duration) error {
+	cli := remote.NewClient(remote.ClientOptions{Addr: addr})
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		return err
+	}
+	start := time.Now()
+	sent := 0
+	err := genx.StreamDataset(spec, func(step, file int, blocks []*genx.BlockData) error {
+		path := genx.SnapshotFile("", step, file)
+		fp := &remote.FilePayload{
+			Time:   blocks[0].Time,
+			StepID: blocks[0].StepID,
+			Blocks: blocks,
+		}
+		if err := cli.Ingest(path, fp); err != nil {
+			return err
+		}
+		sent++
+		if file == spec.FilesPerSnapshot-1 {
+			fmt.Printf("pushed step %d (%s): %d files\n", step, blocks[0].StepID, spec.FilesPerSnapshot)
+		}
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	st := cli.Stats()
+	fmt.Printf("streamed %d files to %s in %v (%d RPCs, %d retries)\n",
+		sent, addr, time.Since(start).Round(time.Millisecond), st.RPCs, st.Retries)
+	return nil
 }

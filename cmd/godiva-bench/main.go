@@ -6,10 +6,10 @@
 //
 // Usage:
 //
-//	godiva-bench [-fig 3a|3b|par|ablate|workers|remote|lock|zerocopy|all] [-reps 5] [-snapshots 32]
+//	godiva-bench [-fig 3a|3b|par|ablate|workers|remote|lock|zerocopy|push|all] [-reps 5] [-snapshots 32]
 //	             [-data DIR] [-timescale 0.05] [-quick] [-json BENCH_remote.json]
 //	             [-lockjson BENCH_lock.json] [-zerojson BENCH_zerocopy.json]
-//	             [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
+//	             [-pushjson BENCH_push.json] [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // -quick shrinks the run (1 rep, 6 snapshots, faster clock) for a smoke
 // pass; the defaults reproduce the full experiment in a few minutes.
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "experiment: 3a, 3b, par, ablate, workers, remote, lock, zerocopy or all")
+		fig       = flag.String("fig", "all", "experiment: 3a, 3b, par, ablate, workers, remote, lock, zerocopy, push or all")
 		reps      = flag.Int("reps", 0, "repetitions per configuration (0 = default)")
 		snapshots = flag.Int("snapshots", 0, "snapshots per run (0 = all 32)")
 		data      = flag.String("data", "godiva-bench-data", "dataset directory (generated on demand)")
@@ -43,6 +43,7 @@ func main() {
 		jsonOut   = flag.String("json", "BENCH_remote.json", "remote-sweep JSON artifact path (empty = no file)")
 		lockOut   = flag.String("lockjson", "BENCH_lock.json", "lock-sweep JSON artifact path (empty = no file)")
 		zeroOut   = flag.String("zerojson", "BENCH_zerocopy.json", "zero-copy-sweep JSON artifact path (empty = no file)")
+		pushOut   = flag.String("pushjson", "BENCH_push.json", "push-sweep JSON artifact path (empty = no file)")
 		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
 		blockProf = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
@@ -80,8 +81,9 @@ func main() {
 	runRem := *fig == "remote" || *fig == "all"
 	runLck := *fig == "lock" || *fig == "all"
 	runZC := *fig == "zerocopy" || *fig == "all"
-	if !run3a && !run3b && !runPar && !runAbl && !runWrk && !runRem && !runLck && !runZC {
-		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers, remote, lock, zerocopy or all)\n", *fig)
+	runPsh := *fig == "push" || *fig == "all"
+	if !run3a && !run3b && !runPar && !runAbl && !runWrk && !runRem && !runLck && !runZC && !runPsh {
+		fmt.Fprintf(os.Stderr, "godiva-bench: unknown -fig %q (want 3a, 3b, par, ablate, workers, remote, lock, zerocopy, push or all)\n", *fig)
 		os.Exit(2)
 	}
 
@@ -216,6 +218,29 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("\nwrote %s\n", *zeroOut)
+		}
+		fmt.Println()
+	}
+	if runPsh {
+		fmt.Println("== Push sweep: live ingest fan-out under a stalled subscriber ==")
+		pcfg := experiments.PushSweepConfig{Log: s.Log}
+		if *quick {
+			pcfg.Spec = genx.Scaled(32)
+			pcfg.Spec.Snapshots = 6
+			pcfg.Spec.FilesPerSnapshot = 2
+			pcfg.Producers = []int{1}
+			pcfg.Subscribers = []int{2}
+		}
+		cells, err := experiments.RunPushSweep(pcfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintPushSweep(os.Stdout, cells)
+		if *pushOut != "" {
+			if err := experiments.WritePushJSON(*pushOut, cells); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nwrote %s\n", *pushOut)
 		}
 	}
 }

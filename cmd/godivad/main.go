@@ -13,6 +13,10 @@
 //
 //	godivad -data genx-data -fault-err 0.05 -fault-drop 0.05 -fault-seed 1
 //
+// With -ingest the server also accepts pushed snapshots (genxgen -stream)
+// and serves reactive subscriptions (voyager -follow); it then starts even
+// on an empty or missing -data directory and fills it as producers push.
+//
 // On SIGINT/SIGTERM the server drains and prints its operation counters.
 package main
 
@@ -34,10 +38,13 @@ func main() {
 		readers   = flag.Int("readers", 8, "open snapshot readers to cache")
 		idle      = flag.Duration("idle", 5*time.Minute, "drop connections idle this long")
 		quiet     = flag.Bool("quiet", false, "suppress per-connection logging")
+		ingest    = flag.Bool("ingest", false, "accept pushed snapshots and subscriptions")
+		heartbeat = flag.Duration("heartbeat", 0, "keep-alive interval on idle subscription streams (0 = auto)")
 		faultDrop = flag.Float64("fault-drop", 0, "fraction of fetches dropped mid-payload")
 		faultErr  = flag.Float64("fault-err", 0, "fraction of fetches answered with a retryable error")
 		faultSlow = flag.Float64("fault-delay-frac", 0, "fraction of fetches delayed by -fault-delay")
 		faultWait = flag.Duration("fault-delay", 100*time.Millisecond, "delay applied to slowed fetches")
+		faultStal = flag.Float64("fault-stall-frac", 0, "fraction of event deliveries stalled by -fault-delay")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injection random seed")
 	)
 	flag.Parse()
@@ -47,11 +54,14 @@ func main() {
 		Dir:         *data,
 		ReaderCache: *readers,
 		IdleTimeout: *idle,
+		Ingest:      *ingest,
+		Heartbeat:   *heartbeat,
 		Faults: remote.Faults{
 			Seed:      *faultSeed,
 			DropFrac:  *faultDrop,
 			ErrFrac:   *faultErr,
 			DelayFrac: *faultSlow,
+			StallFrac: *faultStal,
 			Delay:     *faultWait,
 		},
 	}
@@ -68,6 +78,9 @@ func main() {
 	spec := srv.Spec()
 	fmt.Printf("godivad: serving %s on %s (%d snapshots x %d files, %d blocks)\n",
 		*data, srv.Addr(), spec.Snapshots, spec.FilesPerSnapshot, spec.Blocks)
+	if *ingest {
+		fmt.Println("godivad: ingest on: accepting pushed snapshots and subscriptions")
+	}
 	if *faultDrop > 0 || *faultErr > 0 || *faultSlow > 0 {
 		fmt.Printf("godivad: fault injection on: drop %.0f%%, err %.0f%%, delay %.0f%% x %v (seed %d)\n",
 			*faultDrop*100, *faultErr*100, *faultSlow*100, *faultWait, *faultSeed)
@@ -85,4 +98,9 @@ func main() {
 		st.Conns, st.RPCs, st.Errors, st.FaultsInjected, float64(st.BytesOut)/1e6)
 	fmt.Printf("godivad: reader cache: %d hits, %d opens, %d evictions\n",
 		st.ReaderHits, st.ReaderOpens, st.ReaderEvicts)
+	if *ingest {
+		ps := srv.PushStats()
+		fmt.Printf("godivad: push: %d ingests, %d subscriptions, %d published, %d delivered, %d dropped\n",
+			st.Ingests, st.Subscriptions, ps.Published, ps.Delivered, ps.Dropped)
+	}
 }

@@ -20,8 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"godiva/internal/genx"
+	"godiva/internal/push"
 	"godiva/internal/remote"
 	"godiva/internal/rocketeer"
 )
@@ -39,6 +42,10 @@ func main() {
 		trace   = flag.Bool("trace", false, "print the unit prefetch timeline (G/TG builds)")
 		raddr   = flag.String("remote", "", "godivad server address; fetch units remotely instead of from -data")
 		workers = flag.Int("io-workers", 0, "background I/O workers (0 = the paper's single thread; TG build)")
+		follow  = flag.Bool("follow", false, "subscribe to a push-enabled server (-remote) and render steps as they are ingested")
+		policy  = flag.String("policy", "drop", "follow delivery policy: drop (skip stale steps) or block (lossless)")
+		queue   = flag.Int("queue", 0, "follow delivery queue depth (0 = default)")
+		maxStep = flag.Int("max-steps", 0, "stop following after this many rendered steps (0 = until the stream ends)")
 	)
 	flag.Parse()
 
@@ -46,6 +53,17 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "voyager: unknown test %q (want simple, medium or complex)\n", *test)
 		os.Exit(2)
+	}
+	if *follow {
+		if *raddr == "" {
+			fmt.Fprintln(os.Stderr, "voyager: -follow needs -remote (a push-enabled godivad)")
+			os.Exit(2)
+		}
+		if err := runFollow(*raddr, vt, *policy, *queue, *maxStep, *out, *width, *height, int64(*mem)<<20); err != nil {
+			fmt.Fprintln(os.Stderr, "voyager:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var (
 		spec   genx.Spec
@@ -110,4 +128,59 @@ func main() {
 				float64(e.When.Sub(t0).Microseconds())/1000, e.Unit, e.From, e.To)
 		}
 	}
+}
+
+// runFollow is the live mode: subscribe to a push-enabled godivad and
+// render each time step as its files are ingested, until the stream ends,
+// -max-steps is reached, or SIGINT.
+func runFollow(addr string, vt rocketeer.VisTest, policy string, queue, maxSteps int, out string, width, height int, mem int64) error {
+	var pol push.Policy
+	switch policy {
+	case "drop":
+		pol = push.DropOldest
+	case "block":
+		pol = push.Block
+	default:
+		return fmt.Errorf("unknown -policy %q (want drop or block)", policy)
+	}
+	client := remote.NewClient(remote.ClientOptions{Addr: addr})
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		return err
+	}
+	fmt.Printf("following %s (%s test, %s policy)\n", addr, vt.Name, pol)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("voyager: interrupted, closing the stream")
+		if err := client.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "voyager:", err)
+		}
+	}()
+
+	res, err := rocketeer.Follow(rocketeer.FollowConfig{
+		Test:        vt,
+		Client:      client,
+		Policy:      pol,
+		Queue:       queue,
+		MaxSteps:    maxSteps,
+		MemoryLimit: mem,
+		ImageDir:    out,
+		Width:       width,
+		Height:      height,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("followed %d steps (%d skipped, %d events): %d images\n",
+		res.Steps, res.Skipped, res.Events, res.Images)
+	fmt.Printf("  GODIVA: %d units read (%d prefetched), %d cache hits, peak %0.1f MB\n",
+		res.DB.UnitsRead, res.DB.UnitsPrefetched, res.DB.CacheHits,
+		float64(res.DB.PeakBytes)/1e6)
+	return nil
 }

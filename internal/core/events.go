@@ -28,8 +28,11 @@ func (db *DB) recordEventLocked(u *unit, from, to unitState) {
 		return
 	}
 	if len(db.events) >= maxEvents {
+		// Trim the oldest quarter — and say so: a truncated timeline that
+		// looks complete would mislead anyone debugging push delivery.
 		drop := len(db.events) / 4
 		db.events = append(db.events[:0], db.events[drop:]...)
+		db.stats.eventsDropped.Add(int64(drop))
 	}
 	db.events = append(db.events, UnitEvent{
 		Unit:   u.name,

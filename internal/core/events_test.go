@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestEventsDroppedCounted drives the traced event log past its cap and
+// checks the trim is no longer silent: the dropped events are counted in
+// Stats.EventsDropped and the log itself stays bounded. Regression test for
+// the quiet loss of the oldest quarter of the timeline.
+func TestEventsDroppedCounted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fills the 65536-entry event log")
+	}
+	db := newTestDB(t, Options{TraceUnits: true})
+	defineBlobSchema(t, db)
+	rd := blobReader(16, nil)
+	// Each add/delete cycle records two transitions (created, deleted)
+	// without performing any I/O (single-thread mode only queues).
+	cycles := maxEvents/2 + 100
+	for i := 0; i < cycles; i++ {
+		if err := db.AddUnit("u", rd); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.DeleteUnit("u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.Stats()
+	if s.EventsDropped == 0 {
+		t.Fatalf("event log overflowed but Stats.EventsDropped = 0 (events kept: %d)",
+			len(db.UnitEvents()))
+	}
+	kept := len(db.UnitEvents())
+	if kept > maxEvents+1 {
+		t.Fatalf("event log holds %d entries, cap is %d", kept, maxEvents)
+	}
+	// Dropped plus retained covers everything recorded.
+	if total := s.EventsDropped + int64(kept); total != int64(2*cycles) {
+		t.Fatalf("dropped %d + kept %d = %d events, recorded %d",
+			s.EventsDropped, kept, total, 2*cycles)
+	}
+}
+
+// TestEventsDroppedZeroWithoutOverflow pins the counter at zero on a small
+// traced run, so the new accounting never claims loss that didn't happen.
+func TestEventsDroppedZeroWithoutOverflow(t *testing.T) {
+	db := newTestDB(t, Options{TraceUnits: true})
+	defineBlobSchema(t, db)
+	rd := blobReader(16, nil)
+	for i := 0; i < 10; i++ {
+		if err := db.AddUnit("u", rd); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.DeleteUnit("u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := db.Stats(); s.EventsDropped != 0 {
+		t.Fatalf("EventsDropped = %d on a %d-event run", s.EventsDropped, 20)
+	}
+}

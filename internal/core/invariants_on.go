@@ -189,6 +189,7 @@ func checkStatsSnapshot(s *Stats) {
 	checkCounter("BytesLoaded", s.BytesLoaded)
 	checkCounter("BytesBorrowed", s.BytesBorrowed)
 	checkCounter("PeakBytes", s.PeakBytes)
+	checkCounter("EventsDropped", s.EventsDropped)
 	checkCounter("VisibleWait", int64(s.VisibleWait))
 	checkCounter("ReadTime", int64(s.ReadTime))
 	if s.UnitsPrefetched > s.UnitsRead {

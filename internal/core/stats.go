@@ -23,6 +23,7 @@ type Stats struct {
 	BytesLoaded      int64 // cumulative unit payload bytes brought in
 	BytesBorrowed    int64 // subset of BytesLoaded adopted zero-copy (donated slices)
 	PeakBytes        int64 // high-water memory charge
+	EventsDropped    int64 // trace-log events discarded by the maxEvents cap
 	VisibleWait      time.Duration
 	ReadTime         time.Duration
 }
@@ -44,6 +45,7 @@ type statsCounters struct {
 	bytesLoaded      atomic.Int64
 	bytesBorrowed    atomic.Int64
 	peakBytes        atomic.Int64
+	eventsDropped    atomic.Int64
 	visibleWaitNanos atomic.Int64
 	readTimeNanos    atomic.Int64
 }
@@ -84,6 +86,7 @@ func (db *DB) Stats() Stats {
 	s.BytesBorrowed = c.bytesBorrowed.Load()
 	s.BytesLoaded = c.bytesLoaded.Load()
 	s.PeakBytes = c.peakBytes.Load()
+	s.EventsDropped = c.eventsDropped.Load()
 	s.VisibleWait = time.Duration(c.visibleWaitNanos.Load())
 	s.ReadTime = time.Duration(c.readTimeNanos.Load())
 	checkStatsSnapshot(&s)

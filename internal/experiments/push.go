@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godiva/internal/genx"
+	"godiva/internal/push"
+	"godiva/internal/remote"
+)
+
+// The push sweep measures the reactive plane end to end: producers stream
+// snapshot files into an ingest-enabled godivad while subscribers follow the
+// event stream, across producer counts, subscriber counts and queue
+// policies. Every cell injects the stall fault on event deliveries, and one
+// subscriber per cell runs with a deliberately small queue — the stalled
+// subscriber. Under DropOldest it sheds events (the measured drop rate);
+// under Block it backpressures the producers instead (the inflated wall
+// time). Delivery latency is producer push time to client-side arrival,
+// over the wide-queue subscribers.
+
+// PushSweepConfig configures the push sweep. Zero fields take the defaults
+// noted on each field.
+type PushSweepConfig struct {
+	Spec        genx.Spec     // streamed dataset shape (default genx.Scaled(32), 10 x 2 files)
+	Producers   []int         // concurrent producer counts (default 1, 2)
+	Subscribers []int         // concurrent subscriber counts (default 2, 8)
+	Queue       int           // wide subscriber queue depth (default 64)
+	SlowQueue   int           // stalled subscriber queue depth (default 2)
+	StallFrac   float64       // fraction of event deliveries stalled (default 1)
+	StallDelay  time.Duration // stall length per affected delivery (default 10ms)
+	Log         func(format string, args ...any)
+}
+
+func (cfg *PushSweepConfig) setDefaults() {
+	if cfg.Spec.Blocks == 0 {
+		cfg.Spec = genx.Scaled(32)
+		cfg.Spec.Snapshots = 10
+		cfg.Spec.FilesPerSnapshot = 2
+	}
+	if len(cfg.Producers) == 0 {
+		cfg.Producers = []int{1, 2}
+	}
+	if len(cfg.Subscribers) == 0 {
+		cfg.Subscribers = []int{2, 8}
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 64
+	}
+	if cfg.SlowQueue == 0 {
+		cfg.SlowQueue = 2
+	}
+	if cfg.StallFrac == 0 {
+		cfg.StallFrac = 1
+	}
+	if cfg.StallDelay == 0 {
+		cfg.StallDelay = 10 * time.Millisecond
+	}
+}
+
+func (cfg *PushSweepConfig) logf(format string, args ...any) {
+	if cfg.Log != nil {
+		cfg.Log(format, args...)
+	}
+}
+
+// PushCell reports one (policy, producers, subscribers) run of the sweep.
+type PushCell struct {
+	Policy      string
+	Producers   int
+	Subscribers int
+	Wall        time.Duration // first push to last settled delivery
+	Ingests     int64         // snapshot files pushed
+	Published   int64         // events accepted by the registry
+	Delivered   int64         // events handed to fan-out writers
+	Dropped     int64         // events shed by DropOldest admission
+	DropRate    float64       // dropped / (published x subscribers)
+	FanoutEPS   float64       // delivered events per wall second
+	AvgLatency  time.Duration // push -> client arrival, wide subscribers
+	MaxLatency  time.Duration
+	SlowLost    int64 // events the stalled subscriber never received
+}
+
+// pushConsumer drains one subscription, recording arrivals. Fields after
+// sub/cli are owned by the drain goroutine until it exits.
+type pushConsumer struct {
+	cli    *remote.Client
+	sub    *remote.Subscription
+	slow   bool
+	recv   int64
+	latSum time.Duration
+	latMax time.Duration
+	latN   int64
+}
+
+// runPushCell starts a fresh ingest server, subscribes nsub followers (the
+// first with the stalled small queue), streams the dataset from nprod
+// concurrent producers, and waits for the fan-out to settle.
+func runPushCell(cfg PushSweepConfig, pol push.Policy, nprod, nsub int) (cell *PushCell, err error) {
+	dir, err := os.MkdirTemp("", "godiva-push-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := remote.Serve(remote.ServerOptions{
+		Dir:       dir,
+		Ingest:    true,
+		Heartbeat: 25 * time.Millisecond,
+		Faults: remote.Faults{
+			Seed:      1,
+			StallFrac: cfg.StallFrac,
+			Delay:     cfg.StallDelay,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	spec := cfg.Spec
+	total := spec.Snapshots * spec.FilesPerSnapshot
+	// Producer push times, indexed step*files+file. Atomics: the only
+	// ordering between a producer's store and a consumer's load is the
+	// event's round trip through the server.
+	sendNanos := make([]atomic.Int64, total)
+	var receipts atomic.Int64
+
+	var wg sync.WaitGroup
+	consumers := make([]*pushConsumer, nsub)
+	defer func() {
+		for _, c := range consumers {
+			if c == nil {
+				continue
+			}
+			// Closing the client closes the subscription, ending the drain.
+			// On the success path this is a double close answered with
+			// ErrClientClosed.
+			if cerr := c.cli.Close(); cerr != nil && !errors.Is(cerr, remote.ErrClientClosed) && err == nil {
+				err = cerr
+			}
+		}
+		wg.Wait()
+	}()
+	for i := range consumers {
+		c := &pushConsumer{
+			cli:  remote.NewClient(remote.ClientOptions{Addr: srv.Addr()}),
+			slow: i == 0,
+		}
+		consumers[i] = c
+		queue := cfg.Queue
+		if c.slow {
+			queue = cfg.SlowQueue
+		}
+		c.sub, err = c.cli.Subscribe(push.Spec{ToStep: -1}, push.Options{Policy: pol, Queue: queue})
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range c.sub.Events() {
+				c.recv++
+				receipts.Add(1)
+				if c.slow {
+					continue
+				}
+				idx := ev.Step*spec.FilesPerSnapshot + ev.File
+				if idx < 0 || idx >= total {
+					continue
+				}
+				if lat := ev.Created.Sub(time.Unix(0, sendNanos[idx].Load())); lat > 0 {
+					c.latSum += lat
+					c.latN++
+					if lat > c.latMax {
+						c.latMax = lat
+					}
+				}
+			}
+		}()
+	}
+	// Events only reach subscribers registered before Publish: hold the
+	// producers until every subscription has landed server-side.
+	for srv.Stats().Subscriptions < int64(nsub) {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	prodErr := make(chan error, nprod)
+	for p := 0; p < nprod; p++ {
+		go func(p int) {
+			cli := remote.NewClient(remote.ClientOptions{Addr: srv.Addr()})
+			defer cli.Close()
+			prodErr <- genx.StreamDataset(spec, func(step, file int, blocks []*genx.BlockData) error {
+				if step%nprod != p {
+					return nil // this producer's share of the step range
+				}
+				sendNanos[step*spec.FilesPerSnapshot+file].Store(time.Now().UnixNano())
+				return cli.Ingest(genx.SnapshotFile("", step, file), &remote.FilePayload{
+					Time:   blocks[0].Time,
+					StepID: blocks[0].StepID,
+					Blocks: blocks,
+				})
+			})
+		}(p)
+	}
+	for p := 0; p < nprod; p++ {
+		if err := <-prodErr; err != nil {
+			return nil, fmt.Errorf("push sweep: producer: %w", err)
+		}
+	}
+
+	// Settle: every published event accounted per subscriber (delivered or
+	// dropped) and every delivered event actually received client-side.
+	var ps push.Stats
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ps = srv.PushStats()
+		if ps.Published >= int64(total) &&
+			ps.Delivered+ps.Dropped >= int64(total*nsub) &&
+			receipts.Load() >= ps.Delivered {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("push sweep: fan-out did not settle: %+v, %d receipts",
+				ps, receipts.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wall := time.Since(start)
+
+	for _, c := range consumers {
+		if cerr := c.cli.Close(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	wg.Wait()
+
+	cell = &PushCell{
+		Policy:      pol.String(),
+		Producers:   nprod,
+		Subscribers: nsub,
+		Wall:        wall,
+		Ingests:     srv.Stats().Ingests,
+		Published:   ps.Published,
+		Delivered:   ps.Delivered,
+		Dropped:     ps.Dropped,
+		SlowLost:    int64(total) - consumers[0].recv,
+	}
+	if ps.Published > 0 {
+		cell.DropRate = float64(ps.Dropped) / float64(ps.Published*int64(nsub))
+	}
+	if wall > 0 {
+		cell.FanoutEPS = float64(ps.Delivered) / wall.Seconds()
+	}
+	var latSum time.Duration
+	var latN int64
+	for _, c := range consumers {
+		latSum += c.latSum
+		latN += c.latN
+		if c.latMax > cell.MaxLatency {
+			cell.MaxLatency = c.latMax
+		}
+	}
+	if latN > 0 {
+		cell.AvgLatency = latSum / time.Duration(latN)
+	}
+	return cell, nil
+}
+
+// RunPushSweep runs every (policy, producers, subscribers) cell of the grid.
+// Rows come back DropOldest-first, then by producers, then subscribers.
+func RunPushSweep(cfg PushSweepConfig) ([]*PushCell, error) {
+	cfg.setDefaults()
+	var cells []*PushCell
+	for _, pol := range []push.Policy{push.DropOldest, push.Block} {
+		for _, nprod := range cfg.Producers {
+			for _, nsub := range cfg.Subscribers {
+				cfg.logf("push sweep: %s, %d producers, %d subscribers…", pol, nprod, nsub)
+				cell, err := runPushCell(cfg, pol, nprod, nsub)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// PrintPushSweep writes the push sweep table.
+func PrintPushSweep(w io.Writer, cells []*PushCell) {
+	fmt.Fprintf(w, "\nPush fan-out under a stalled subscriber (streamed GENx ingest):\n")
+	fmt.Fprintf(w, "%12s %5s %5s %10s %7s %10s %8s %8s %10s %10s %10s\n",
+		"policy", "prod", "subs", "wall (ms)", "events", "delivered", "dropped", "drop %", "fanout e/s", "lat (ms)", "slow lost")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%12s %5d %5d %10.1f %7d %10d %8d %8.1f %10.0f %10.2f %10d\n",
+			c.Policy, c.Producers, c.Subscribers,
+			float64(c.Wall.Microseconds())/1e3,
+			c.Published, c.Delivered, c.Dropped, 100*c.DropRate,
+			c.FanoutEPS, float64(c.AvgLatency.Microseconds())/1e3, c.SlowLost)
+	}
+}
+
+// pushCellJSON is the machine-readable form of a PushCell: durations in
+// milliseconds, throughput in events per second.
+type pushCellJSON struct {
+	Policy       string  `json:"policy"`
+	Producers    int     `json:"producers"`
+	Subscribers  int     `json:"subscribers"`
+	WallMS       float64 `json:"wall_ms"`
+	Ingests      int64   `json:"ingests"`
+	Published    int64   `json:"published"`
+	Delivered    int64   `json:"delivered"`
+	Dropped      int64   `json:"dropped"`
+	DropRate     float64 `json:"drop_rate"`
+	FanoutEPS    float64 `json:"fanout_events_per_s"`
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	MaxLatencyMS float64 `json:"max_latency_ms"`
+	SlowLost     int64   `json:"slow_lost"`
+}
+
+// WritePushJSON writes the sweep's cells as a JSON document (the bench's
+// BENCH_push.json artifact).
+func WritePushJSON(path string, cells []*PushCell) error {
+	out := struct {
+		Experiment string         `json:"experiment"`
+		Cells      []pushCellJSON `json:"cells"`
+	}{Experiment: "push-sweep"}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, pushCellJSON{
+			Policy:       c.Policy,
+			Producers:    c.Producers,
+			Subscribers:  c.Subscribers,
+			WallMS:       float64(c.Wall.Microseconds()) / 1e3,
+			Ingests:      c.Ingests,
+			Published:    c.Published,
+			Delivered:    c.Delivered,
+			Dropped:      c.Dropped,
+			DropRate:     c.DropRate,
+			FanoutEPS:    c.FanoutEPS,
+			AvgLatencyMS: float64(c.AvgLatency.Microseconds()) / 1e3,
+			MaxLatencyMS: float64(c.MaxLatency.Microseconds()) / 1e3,
+			SlowLost:     c.SlowLost,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

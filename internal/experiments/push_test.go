@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"godiva/internal/genx"
+)
+
+// TestPushSweepQuick runs one small cell per policy and checks the sweep's
+// core claims: nonzero fan-out throughput everywhere, a measured drop rate
+// on the stalled DropOldest subscriber, and lossless delivery under Block.
+func TestPushSweepQuick(t *testing.T) {
+	spec := genx.Scaled(32)
+	spec.Snapshots = 6
+	spec.FilesPerSnapshot = 2
+	cells, err := RunPushSweep(PushSweepConfig{
+		Spec:        spec,
+		Producers:   []int{1},
+		Subscribers: []int{3},
+		StallDelay:  5 * time.Millisecond,
+		Log:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	total := int64(spec.Snapshots * spec.FilesPerSnapshot)
+	for _, c := range cells {
+		if c.Published != total {
+			t.Errorf("%s: published %d events, want %d", c.Policy, c.Published, total)
+		}
+		if c.FanoutEPS <= 0 {
+			t.Errorf("%s: fan-out throughput %.1f, want > 0", c.Policy, c.FanoutEPS)
+		}
+		if c.Ingests != total {
+			t.Errorf("%s: %d ingests, want %d", c.Policy, c.Ingests, total)
+		}
+	}
+	drop, block := cells[0], cells[1]
+	if drop.Policy != "drop-oldest" || block.Policy != "block" {
+		t.Fatalf("unexpected cell order: %s, %s", drop.Policy, block.Policy)
+	}
+	if drop.Dropped == 0 || drop.SlowLost == 0 {
+		t.Errorf("stalled drop-oldest cell shed nothing: dropped %d, slow lost %d",
+			drop.Dropped, drop.SlowLost)
+	}
+	if drop.DropRate <= 0 {
+		t.Errorf("stalled cell drop rate %.3f, want > 0", drop.DropRate)
+	}
+	if block.Dropped != 0 || block.SlowLost != 0 {
+		t.Errorf("block cell lost events: dropped %d, slow lost %d",
+			block.Dropped, block.SlowLost)
+	}
+	if block.Delivered != 3*total {
+		t.Errorf("block cell delivered %d, want %d", block.Delivered, 3*total)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_push.json")
+	if err := WritePushJSON(path, cells); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Cells      []struct {
+			Policy    string  `json:"policy"`
+			FanoutEPS float64 `json:"fanout_events_per_s"`
+			DropRate  float64 `json:"drop_rate"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_push.json: %v", err)
+	}
+	if doc.Experiment != "push-sweep" || len(doc.Cells) != 2 {
+		t.Fatalf("BENCH_push.json: experiment %q, %d cells", doc.Experiment, len(doc.Cells))
+	}
+	if doc.Cells[0].FanoutEPS <= 0 || doc.Cells[0].DropRate <= 0 {
+		t.Errorf("BENCH_push.json stalled cell: fanout %.1f, drop rate %.3f",
+			doc.Cells[0].FanoutEPS, doc.Cells[0].DropRate)
+	}
+}

@@ -99,6 +99,7 @@ type Client struct {
 	mu     sync.Mutex
 	idle   []net.Conn
 	calls  map[string]*call
+	subs   map[*Subscription]struct{}
 	rng    *rand.Rand
 	stats  RemoteStats
 	closed bool
@@ -113,6 +114,7 @@ func NewClient(opts ClientOptions) *Client {
 		sem:   make(chan struct{}, opts.PoolSize),
 		done:  make(chan struct{}),
 		calls: make(map[string]*call),
+		subs:  make(map[*Subscription]struct{}),
 		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
@@ -126,8 +128,9 @@ func (c *Client) Stats() RemoteStats {
 	return c.stats
 }
 
-// Close releases every pooled connection and fails subsequent and blocked
-// operations with ErrClientClosed.
+// Close releases every pooled connection, severs active subscriptions
+// (their event channels close with ErrSubscriptionClosed) and fails
+// subsequent and blocked operations with ErrClientClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -137,10 +140,17 @@ func (c *Client) Close() error {
 	c.closed = true
 	idle := c.idle
 	c.idle = nil
+	subs := make([]*Subscription, 0, len(c.subs))
+	for sub := range c.subs {
+		subs = append(subs, sub)
+	}
 	c.mu.Unlock()
 	close(c.done)
 	for _, conn := range idle {
 		conn.Close()
+	}
+	for _, sub := range subs {
+		sub.Close()
 	}
 	return nil
 }
@@ -165,6 +175,27 @@ func (c *Client) Spec() (genx.Spec, error) {
 	spec, err := decodeSpec(body)
 	putFrameBuf(buf)
 	return spec, err
+}
+
+// Ingest pushes one snapshot file's payload to the server, which must be
+// running with ingest enabled. path names the destination file inside the
+// server's snapshot directory (a bare genx snapshot file name); the payload
+// travels as scattered segments borrowing fp's arrays, so large steps are
+// not assembled client-side first. On success the file is durably written
+// on the server and matching subscribers have been notified.
+func (c *Client) Ingest(path string, fp *FilePayload) error {
+	segs, _, err := encodeIngestSegments(path, fp, maxFrame-2)
+	if err != nil {
+		return fmt.Errorf("remote: ingest %q: %w", path, err)
+	}
+	_, buf, err := c.rpcSegs(OpIngest, segs)
+	if buf != nil {
+		putFrameBuf(buf)
+	}
+	if err != nil {
+		return fmt.Errorf("remote: ingest %q: %w", path, err)
+	}
+	return nil
 }
 
 // FetchFile fetches one snapshot file's unit payload: every block with its
@@ -259,6 +290,18 @@ func retryable(err error) bool {
 // to putFrameBuf (or park it in a FilePayload arena) once the payload is
 // dead.
 func (c *Client) rpc(op byte, body []byte) (resp, buf []byte, err error) {
+	var segs [][]byte
+	if len(body) > 0 {
+		segs = [][]byte{body}
+	}
+	return c.rpcSegs(op, segs)
+}
+
+// rpcSegs is rpc with a scattered request payload: segments go to the
+// socket with a vectored write, so bulky ingest bodies borrow the caller's
+// arrays instead of being assembled first. Segments must stay alive and
+// unchanged until rpcSegs returns (they may be re-sent on retry).
+func (c *Client) rpcSegs(op byte, segs [][]byte) (resp, buf []byte, err error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -272,7 +315,7 @@ func (c *Client) rpc(op byte, body []byte) (resp, buf []byte, err error) {
 				return nil, nil, ErrClientClosed
 			}
 		}
-		resp, buf, err := c.attempt(op, body)
+		resp, buf, err := c.attempt(op, segs)
 		if err == nil {
 			return resp, buf, nil
 		}
@@ -299,7 +342,7 @@ func (c *Client) backoffLocked(attempt int) time.Duration {
 // attempt performs one wire round-trip on a pooled connection. The response
 // payload is read into a pooled frame buffer, returned to the caller on
 // success (see rpc) and back to the pool on every failure path.
-func (c *Client) attempt(op byte, body []byte) ([]byte, []byte, error) {
+func (c *Client) attempt(op byte, segs [][]byte) ([]byte, []byte, error) {
 	start := time.Now()
 	c.mu.Lock()
 	c.stats.RPCs++
@@ -311,7 +354,7 @@ func (c *Client) attempt(op byte, body []byte) ([]byte, []byte, error) {
 	deadline := start.Add(c.opts.RequestTimeout)
 	conn.SetDeadline(deadline)
 	rop, buf, rbody, err := func() (byte, []byte, []byte, error) {
-		if err := writeFrame(conn, op, body); err != nil {
+		if err := writeFrameBuffers(conn, op, segs); err != nil {
 			return 0, nil, nil, err
 		}
 		return readFramePooled(conn)

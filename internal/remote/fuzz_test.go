@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"godiva/internal/genx"
+	"godiva/internal/push"
 )
 
 // FuzzFilePayload feeds arbitrary bodies through the FilePayload decoder —
@@ -64,6 +65,71 @@ func FuzzSpec(f *testing.F) {
 	})
 }
 
+// FuzzSubSpec feeds arbitrary bodies through the OpSubscribe request
+// decoder — the bytes a server accepts before granting a long-lived stream —
+// and round-trips whatever decodes.
+func FuzzSubSpec(f *testing.F) {
+	for _, s := range subSpecSeedInputs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		spec, opts, err := decodeSubReq(b)
+		if err != nil {
+			return // rejected: the desired outcome for damaged frames
+		}
+		again, aopts, err := decodeSubReq(encodeSubReq(spec, opts))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded subscribe request failed: %v", err)
+		}
+		if again.FromStep != spec.FromStep || again.ToStep != spec.ToStep ||
+			again.Stride != spec.Stride || aopts.Policy != opts.Policy ||
+			aopts.Queue != opts.Queue ||
+			len(again.Fields) != len(spec.Fields) || len(again.Files) != len(spec.Files) {
+			t.Fatalf("round trip changed request: %+v/%+v != %+v/%+v", again, aopts, spec, opts)
+		}
+		for i := range spec.Fields {
+			if again.Fields[i] != spec.Fields[i] {
+				t.Fatalf("round trip changed field %d: %q != %q", i, again.Fields[i], spec.Fields[i])
+			}
+		}
+		for i := range spec.Files {
+			if again.Files[i] != spec.Files[i] {
+				t.Fatalf("round trip changed file %d: %d != %d", i, again.Files[i], spec.Files[i])
+			}
+		}
+	})
+}
+
+// FuzzEventFrame does the same for OpEvent frames — the bytes a subscriber
+// accepts from the network for the lifetime of its stream.
+func FuzzEventFrame(f *testing.F) {
+	for _, s := range eventSeedInputs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ev, err := decodeEvent(b)
+		if err != nil {
+			return
+		}
+		again, err := decodeEvent(encodeEvent(ev))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded event failed: %v", err)
+		}
+		// Compare Time bit for bit: fuzzed frames may decode to NaN.
+		if again.Seq != ev.Seq || again.Step != ev.Step || again.File != ev.File ||
+			math.Float64bits(again.Time) != math.Float64bits(ev.Time) ||
+			again.Path != ev.Path || again.StepID != ev.StepID ||
+			len(again.Fields) != len(ev.Fields) {
+			t.Fatalf("round trip changed event: %+v != %+v", again, ev)
+		}
+		for i := range ev.Fields {
+			if again.Fields[i] != ev.Fields[i] {
+				t.Fatalf("round trip changed field %d: %q != %q", i, again.Fields[i], ev.Fields[i])
+			}
+		}
+	})
+}
+
 // payloadSeedInputs is the checked-in seed corpus for FuzzFilePayload: a
 // valid encoding, its interesting truncations, and a block-count mutation.
 func payloadSeedInputs() [][]byte {
@@ -94,6 +160,52 @@ func specSeedInputs() [][]byte {
 	return [][]byte{data, data[:4], data[:0], append([]byte(nil), data[:len(data)-1]...)}
 }
 
+// subSpecSeedInputs seeds FuzzSubSpec with valid encodings (both policies, a
+// filtered rule), truncations, and a field-count mutation.
+func subSpecSeedInputs() [][]byte {
+	full := encodeSubReq(
+		push.Spec{FromStep: 2, ToStep: 30, Stride: 2, Fields: []string{"velocity", "stress_avg"}, Files: []int{0, 3}},
+		push.Options{Queue: 16, Policy: push.Block},
+	)
+	open := encodeSubReq(push.Spec{ToStep: -1}, push.Options{Policy: push.DropOldest})
+	seeds := [][]byte{full, open}
+	for _, n := range []int{0, 4, 13, len(full) / 2, len(full) - 1} {
+		if n <= len(full) {
+			seeds = append(seeds, append([]byte(nil), full[:n]...))
+		}
+	}
+	// Wild field count: 3×i32 + u8 policy + i32 queue put the u16 count at 17.
+	if len(full) > 19 {
+		mut := append([]byte(nil), full...)
+		mut[17], mut[18] = 0xFF, 0xFF
+		seeds = append(seeds, mut)
+	}
+	return seeds
+}
+
+// eventSeedInputs seeds FuzzEventFrame with a valid encoding, truncations,
+// and a field-count mutation.
+func eventSeedInputs() [][]byte {
+	data := encodeEvent(push.Event{
+		Seq: 7, Step: 3, File: 1, Time: 1e-4,
+		Path: "genx_t0003_1.shdf", StepID: "0.000100",
+		Fields: []string{"velocity", "stress_avg"},
+	})
+	seeds := [][]byte{data}
+	for _, n := range []int{0, 8, 24, len(data) / 2, len(data) - 1} {
+		if n <= len(data) {
+			seeds = append(seeds, append([]byte(nil), data[:n]...))
+		}
+	}
+	// Wild field count: it sits right after the two length-prefixed strings.
+	if at := 24 + 2 + len("genx_t0003_1.shdf") + 2 + len("0.000100"); at+2 <= len(data) {
+		mut := append([]byte(nil), data...)
+		mut[at], mut[at+1] = 0xFF, 0xFF
+		seeds = append(seeds, mut)
+	}
+	return seeds
+}
+
 // TestWriteFuzzCorpus regenerates the on-disk seed corpora. It is a no-op
 // unless REMOTE_WRITE_CORPUS=1, so normal test runs never touch the tree:
 //
@@ -105,6 +217,8 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	for fuzz, seeds := range map[string][][]byte{
 		"FuzzFilePayload": payloadSeedInputs(),
 		"FuzzSpec":        specSeedInputs(),
+		"FuzzSubSpec":     subSpecSeedInputs(),
+		"FuzzEventFrame":  eventSeedInputs(),
 	} {
 		dir := filepath.Join("testdata", "fuzz", fuzz)
 		if err := os.MkdirAll(dir, 0o755); err != nil {

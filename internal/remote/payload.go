@@ -184,6 +184,19 @@ func (s *segEnc) i64s(v []int64) {
 // it returns ErrFrameTooLarge before anything is sent.
 func encodeFilePayloadSegments(fp *FilePayload, limit int) (segs [][]byte, copied int64, err error) {
 	var s segEnc
+	s.filePayload(fp)
+	s.flush()
+	if s.base > limit {
+		return nil, 0, fmt.Errorf("%w (%d bytes, limit %d)", ErrFrameTooLarge, s.base, limit)
+	}
+	return s.segs, s.copied, nil
+}
+
+// filePayload appends fp's body to the payload under construction. The
+// layout is position-independent — alignment pads are computed from the
+// running payload offset — so the same body can follow a prefix (OpIngest
+// requests put a path string first).
+func (s *segEnc) filePayload(fp *FilePayload) {
 	s.e.f64(fp.Time)
 	s.e.str(fp.StepID)
 	s.e.u32(uint32(len(fp.Blocks)))
@@ -204,11 +217,6 @@ func encodeFilePayloadSegments(fp *FilePayload, limit int) (segs [][]byte, copie
 			s.f64s(bd.Elem[name])
 		}
 	}
-	s.flush()
-	if s.base > limit {
-		return nil, 0, fmt.Errorf("%w (%d bytes, limit %d)", ErrFrameTooLarge, s.base, limit)
-	}
-	return s.segs, s.copied, nil
 }
 
 // decodeFilePayload parses an encoded FilePayload. When body sits 8-byte
@@ -217,7 +225,17 @@ func encodeFilePayloadSegments(fp *FilePayload, limit int) (segs [][]byte, copie
 // out instead.
 func decodeFilePayload(body []byte) (fp *FilePayload, copied int64, err error) {
 	d := dec{b: body}
-	fp = &FilePayload{Time: d.f64(), StepID: d.str()}
+	fp = d.filePayload()
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("%w: file payload: %v", ErrProtocol, d.err)
+	}
+	return fp, d.copied, nil
+}
+
+// filePayload decodes a FilePayload body starting at the decoder's current
+// offset (the inverse of segEnc.filePayload).
+func (d *dec) filePayload() *FilePayload {
+	fp := &FilePayload{Time: d.f64(), StepID: d.str()}
 	nblocks := int(d.u32())
 	for i := 0; i < nblocks && d.err == nil; i++ {
 		bd := &genx.BlockData{
@@ -242,10 +260,7 @@ func decodeFilePayload(body []byte) (fp *FilePayload, copied int64, err error) {
 		bd.StepID = fp.StepID
 		fp.Blocks = append(fp.Blocks, bd)
 	}
-	if d.err != nil {
-		return nil, 0, fmt.Errorf("%w: file payload: %v", ErrProtocol, d.err)
-	}
-	return fp, d.copied, nil
+	return fp
 }
 
 // encodeSpec serializes the dataset shape answered by OpSpec. The mesh

@@ -46,11 +46,14 @@ const (
 
 // Request and response op codes.
 const (
-	OpPing  byte = 0x01 // liveness check, empty payload both ways
-	OpSpec  byte = 0x02 // dataset shape: snapshots, files, blocks, dt
-	OpFetch byte = 0x03 // one snapshot file's unit payload
-	RespOK  byte = 0x80
-	RespErr byte = 0x81
+	OpPing      byte = 0x01 // liveness check, empty payload both ways
+	OpSpec      byte = 0x02 // dataset shape: snapshots, files, blocks, dt
+	OpFetch     byte = 0x03 // one snapshot file's unit payload
+	OpIngest    byte = 0x04 // producer pushes one snapshot file's payload
+	OpSubscribe byte = 0x05 // turn the connection into an event stream
+	RespOK      byte = 0x80
+	RespErr     byte = 0x81
+	OpEvent     byte = 0x82 // one subscription event; empty body = heartbeat
 )
 
 // Protocol error codes carried by RespErr frames. Only CodeUnavailable is

@@ -8,11 +8,13 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"godiva/internal/genx"
+	"godiva/internal/push"
 	"godiva/internal/shdf"
 )
 
@@ -31,6 +33,14 @@ type ServerOptions struct {
 	ReaderCache int
 	// IdleTimeout disconnects clients idle longer than this (default 5m).
 	IdleTimeout time.Duration
+	// Ingest accepts OpIngest requests: producers may push new snapshot
+	// files into Dir, and the server starts even when Dir is empty or
+	// missing (it is created). Off by default — a fetch-only server never
+	// writes its dataset.
+	Ingest bool
+	// Heartbeat is the idle interval between keep-alive frames on
+	// subscription connections (default IdleTimeout/2, capped at 2s).
+	Heartbeat time.Duration
 	// Faults configures deterministic fault injection (testing; zero = off).
 	Faults Faults
 	// Logf, when non-nil, receives one line per connection event and error.
@@ -46,7 +56,8 @@ type Faults struct {
 	DropFrac  float64       // sever the connection mid-payload
 	ErrFrac   float64       // answer CodeUnavailable (client retries)
 	DelayFrac float64       // delay the response by Delay
-	Delay     time.Duration // delay used by DelayFrac
+	StallFrac float64       // stall an OpEvent delivery by Delay (slow subscriber)
+	Delay     time.Duration // delay used by DelayFrac and StallFrac
 }
 
 func (f Faults) enabled() bool { return f.DropFrac > 0 || f.ErrFrac > 0 || f.DelayFrac > 0 }
@@ -74,17 +85,22 @@ type ServerStats struct {
 	ReaderHits   int64 // fetches served by a cached open reader
 	ReaderOpens  int64 // snapshot files opened
 	ReaderEvicts int64 // cached readers closed by LRU pressure
+
+	Ingests       int64 // snapshot files accepted via OpIngest
+	Subscriptions int64 // OpSubscribe streams accepted
+	EventsOut     int64 // OpEvent frames written (heartbeats excluded)
 }
 
 // Server serves unit payloads out of a directory of SHDF snapshot files.
 // Start one with Serve; stop it with Close.
 type Server struct {
 	opts  ServerOptions
-	spec  genx.Spec
 	ln    net.Listener
 	cache *readerCache
+	reg   *push.Registry
 
 	mu     sync.Mutex
+	spec   genx.Spec // grows as OpIngest lands new steps
 	conns  map[net.Conn]struct{}
 	faults Faults
 	rng    *rand.Rand
@@ -106,9 +122,25 @@ func Serve(opts ServerOptions) (*Server, error) {
 	if opts.IdleTimeout <= 0 {
 		opts.IdleTimeout = 5 * time.Minute
 	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = opts.IdleTimeout / 2
+		if opts.Heartbeat > 2*time.Second {
+			opts.Heartbeat = 2 * time.Second
+		}
+	}
+	if opts.Ingest {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("remote: serve %s: %w", opts.Dir, err)
+		}
+	}
 	spec, err := genx.Discover(opts.Dir)
 	if err != nil {
-		return nil, fmt.Errorf("remote: serve %s: %w", opts.Dir, err)
+		// An ingest server may start on an empty directory: producers fill
+		// it, and the spec grows as snapshots land.
+		if !opts.Ingest {
+			return nil, fmt.Errorf("remote: serve %s: %w", opts.Dir, err)
+		}
+		spec = genx.Spec{}
 	}
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
@@ -119,6 +151,7 @@ func Serve(opts ServerOptions) (*Server, error) {
 		spec:  spec,
 		ln:    ln,
 		cache: newReaderCache(opts.ReaderCache),
+		reg:   push.NewRegistry(),
 		conns: make(map[net.Conn]struct{}),
 	}
 	s.mu.Lock()
@@ -132,8 +165,15 @@ func Serve(opts ServerOptions) (*Server, error) {
 // Addr returns the server's listen address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Spec returns the served dataset's shape.
-func (s *Server) Spec() genx.Spec { return s.spec }
+// Spec returns the served dataset's shape. Ingest grows it at run time.
+func (s *Server) Spec() genx.Spec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spec
+}
+
+// PushStats returns a snapshot of the push registry's fan-out counters.
+func (s *Server) PushStats() push.Stats { return s.reg.Stats() }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
@@ -162,7 +202,11 @@ func (s *Server) setFaultsLocked(f Faults) {
 }
 
 // Close stops accepting, severs open connections, joins the handler
-// goroutines and closes every cached reader.
+// goroutines and closes every cached reader. Closing the push registry
+// first wakes every fan-out writer blocked on an empty queue (and every
+// ingest blocked on a full lossless queue); closing the connections then
+// unblocks writers stuck mid-send to a stalled peer, so wg.Wait cannot
+// hang behind a subscription.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -170,6 +214,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	s.reg.Close()
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
@@ -230,6 +277,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		op, body, err := readFrame(conn)
 		if err != nil {
 			return // client went away, idled out, or sent garbage
+		}
+		if op == OpSubscribe {
+			// The connection changes direction: this goroutine becomes the
+			// subscription's fan-out writer until the stream ends.
+			s.handleSubscribe(conn, body)
+			return
 		}
 		rop, segs, done := s.handleRequest(op, body)
 		// done pins server-side resources the response segments borrow
@@ -337,7 +390,20 @@ func (s *Server) handleRequest(op byte, body []byte) (rop byte, segs [][]byte, d
 	case OpPing:
 		return RespOK, nil, nil
 	case OpSpec:
-		return RespOK, [][]byte{encodeSpec(s.spec)}, nil
+		return RespOK, [][]byte{encodeSpec(s.Spec())}, nil
+	case OpIngest:
+		if !s.opts.Ingest {
+			return countErr(CodeBadRequest, "ingest is disabled on this server")
+		}
+		path, fp, _, err := decodeIngestReq(body)
+		if err != nil {
+			return countErr(CodeBadRequest, err.Error())
+		}
+		if err := s.ingest(path, fp); err != nil {
+			s.logf("remote: ingest %s: %v", path, err)
+			return countErr(errCode(err), err.Error())
+		}
+		return RespOK, nil, nil
 	case OpFetch:
 		path, vars, err := decodeFetchReq(body)
 		if err != nil {
@@ -423,14 +489,166 @@ func (s *Server) fetch(path string, vars []string) (fp *FilePayload, done func()
 	return fp, func() { s.cache.release(ent) }, nil
 }
 
+// ingest validates and lands one pushed snapshot file, then publishes the
+// arrival to the subscription registry. The payload goes through the same
+// shdf writer path WriteDataset uses (into a temp file, renamed into place,
+// so a crashed producer never leaves a torn snapshot visible), the served
+// spec grows to cover the new step, and any cached reader for an
+// overwritten path is invalidated. Publish blocks while a lossless (Block)
+// subscriber's queue is full — that backpressure is the point: the
+// producer's RespOK is withheld until every lossless consumer has room.
+func (s *Server) ingest(path string, fp *FilePayload) error {
+	step, file, ok := genx.ParseSnapshotFile(path)
+	if !ok || !filepath.IsLocal(path) {
+		return &ServerError{Code: CodeBadRequest, Msg: fmt.Sprintf("bad ingest path %q", path)}
+	}
+	dst := filepath.Join(s.opts.Dir, path)
+	tmp := dst + ".ingest"
+	if err := genx.WriteBlockDataFile(tmp, fp.Time, step, fp.StepID, fp.Blocks); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	s.cache.invalidate(dst)
+
+	fields := make(map[string]struct{})
+	maxBlock := 0
+	for _, bd := range fp.Blocks {
+		if bd.ID+1 > maxBlock {
+			maxBlock = bd.ID + 1
+		}
+		for name := range bd.Node {
+			fields[name] = struct{}{}
+		}
+		for name := range bd.Elem {
+			fields[name] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(fields))
+	for name := range fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	s.mu.Lock()
+	if step+1 > s.spec.Snapshots {
+		s.spec.Snapshots = step + 1
+	}
+	if file+1 > s.spec.FilesPerSnapshot {
+		s.spec.FilesPerSnapshot = file + 1
+	}
+	if maxBlock > s.spec.Blocks {
+		s.spec.Blocks = maxBlock
+	}
+	if s.spec.DT == 0 && fp.Time > 0 {
+		s.spec.DT = fp.Time / float64(step+1)
+	}
+	s.stats.Ingests++
+	s.mu.Unlock()
+
+	_, err := s.reg.Publish(push.Event{
+		Step:   step,
+		File:   file,
+		Path:   path,
+		StepID: fp.StepID,
+		Time:   fp.Time,
+		Fields: names,
+	})
+	if err != nil && err != push.ErrClosed {
+		return err
+	}
+	return nil
+}
+
+// handleSubscribe turns a connection into a long-lived event stream: it
+// registers the requested match rule, acknowledges with RespOK, and then
+// writes one OpEvent frame per delivered event until the stream ends. The
+// handler goroutine itself is the fan-out writer — no extra goroutine, so
+// the stream's lifetime is exactly the connection handler's. Empty OpEvent
+// heartbeats flow while the queue is idle, bounding how long a dead peer
+// goes unnoticed; each write carries a deadline, bounding how long a
+// stalled peer can hold the subscription (and, through a Block queue, the
+// producer).
+func (s *Server) handleSubscribe(conn net.Conn, body []byte) {
+	conn.SetWriteDeadline(time.Now().Add(s.opts.IdleTimeout))
+	spec, opts, err := decodeSubReq(body)
+	if err != nil {
+		s.countError()
+		writeFrame(conn, RespErr, encodeErr(CodeBadRequest, err.Error()))
+		return
+	}
+	sub, err := s.reg.Subscribe(spec, opts)
+	if err != nil {
+		s.countError()
+		writeFrame(conn, RespErr, encodeErr(CodeUnavailable, err.Error()))
+		return
+	}
+	defer sub.Close()
+	if err := writeFrame(conn, RespOK, nil); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.stats.Subscriptions++
+	s.mu.Unlock()
+	for {
+		ev, ok, closed := sub.NextTimeout(s.opts.Heartbeat)
+		if closed {
+			return // subscriber or server shut down
+		}
+		var frame []byte
+		if ok {
+			if stall, delay := s.stallAction(); stall {
+				time.Sleep(delay)
+			}
+			frame = encodeEvent(ev)
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.opts.IdleTimeout))
+		if err := writeFrame(conn, OpEvent, frame); err != nil {
+			return // peer gone or stalled past the deadline
+		}
+		s.mu.Lock()
+		s.stats.BytesOut += int64(6 + len(frame))
+		if ok {
+			s.stats.EventsOut++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// countError bumps the error-response counter.
+func (s *Server) countError() {
+	s.mu.Lock()
+	s.stats.Errors++
+	s.mu.Unlock()
+}
+
+// stallAction draws one slow-subscriber fault decision for an event write.
+func (s *Server) stallAction() (bool, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.faults
+	if f.StallFrac <= 0 {
+		return false, 0
+	}
+	if s.rng.Float64() < f.StallFrac {
+		s.stats.FaultsInjected++
+		return true, f.Delay
+	}
+	return false, 0
+}
+
 // --- LRU cache of open snapshot readers ---
 
 type cacheEntry struct {
-	path  string
-	h     *genx.FileHandle
-	mu    sync.Mutex // serializes reads through the handle
-	refs  int
-	stamp int64 // LRU clock at last acquire
+	path   string
+	h      *genx.FileHandle
+	mu     sync.Mutex // serializes reads through the handle
+	refs   int
+	stamp  int64 // LRU clock at last acquire
+	doomed bool  // invalidated while pinned; close on last release
 }
 
 type readerCache struct {
@@ -501,6 +719,30 @@ func (rc *readerCache) release(e *cacheEntry) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	e.refs--
+	if e.doomed && e.refs == 0 {
+		e.h.Close()
+		e.doomed = false
+	}
+}
+
+// invalidate drops the cache entry for path after its file is replaced on
+// disk: a cached reader still maps the old bytes, so it must never serve
+// another fetch. A pinned entry keeps serving in-flight fetches (the old
+// mapping stays valid until close) and is closed on its last release.
+func (rc *readerCache) invalidate(path string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	e, ok := rc.entries[path]
+	if !ok {
+		return
+	}
+	delete(rc.entries, path)
+	if e.refs == 0 {
+		e.h.Close()
+	} else {
+		e.doomed = true
+	}
+	rc.evicts++
 }
 
 func (rc *readerCache) closeAll() {

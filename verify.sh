@@ -18,6 +18,10 @@
 #   race-platform race-detector pass over the virtual-machine model
 #   invariants  core suite with the godivainvariants runtime checker
 #               compiled in, under the race detector
+#   push        subscription stress under the race detector: producers,
+#               mixed-policy subscribers and subscribe/unsubscribe churn
+#               against one registry (duration from VERIFY_PUSHTIME,
+#               default 10s)
 #   fuzz        FuzzReader smoke over the shdf seed corpus (duration from
 #               VERIFY_FUZZTIME, default 10s)
 #
@@ -92,12 +96,13 @@ run_stage race-core go test -race -count=1 ./internal/core/...
 run_stage race-remote go test -race -count=1 ./internal/remote/...
 run_stage race-platform go test -race -count=1 ./internal/platform/...
 run_stage invariants go test -tags godivainvariants -race -count=1 ./internal/core/...
+run_stage push env PUSH_STRESS_TIME="${VERIFY_PUSHTIME:-10s}" go test -race -count=1 -run '^TestSubscriptionStress$' ./internal/push
 run_stage fuzz go test -fuzz=FuzzReader -fuzztime="${VERIFY_FUZZTIME:-10s}" -run '^FuzzReader$' ./internal/shdf
 
 if [ -n "$only_stage" ]; then
     if [ "$stage_seen" -eq 0 ]; then
         echo "verify.sh: unknown stage \"$only_stage\"" >&2
-        echo "stages: fmt vet build lint test benchmem race-core race-remote race-platform invariants fuzz" >&2
+        echo "stages: fmt vet build lint test benchmem race-core race-remote race-platform invariants push fuzz" >&2
         exit 2
     fi
     echo "verify.sh: stage $only_stage passed"
