@@ -36,6 +36,7 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:7144", "listen address")
 		data      = flag.String("data", "genx-data", "snapshot directory to serve (see genxgen)")
 		readers   = flag.Int("readers", 8, "open snapshot readers to cache")
+		payloadMB = flag.Int64("payload-cache", 64, "pinned payload cache budget in MiB (0 disables)")
 		idle      = flag.Duration("idle", 5*time.Minute, "drop connections idle this long")
 		quiet     = flag.Bool("quiet", false, "suppress per-connection logging")
 		ingest    = flag.Bool("ingest", false, "accept pushed snapshots and subscriptions")
@@ -49,13 +50,18 @@ func main() {
 	)
 	flag.Parse()
 
+	cacheBudget := *payloadMB << 20
+	if cacheBudget <= 0 {
+		cacheBudget = -1 // ServerOptions: negative disables, zero means default
+	}
 	opts := remote.ServerOptions{
-		Addr:        *addr,
-		Dir:         *data,
-		ReaderCache: *readers,
-		IdleTimeout: *idle,
-		Ingest:      *ingest,
-		Heartbeat:   *heartbeat,
+		Addr:         *addr,
+		Dir:          *data,
+		ReaderCache:  *readers,
+		PayloadCache: cacheBudget,
+		IdleTimeout:  *idle,
+		Ingest:       *ingest,
+		Heartbeat:    *heartbeat,
 		Faults: remote.Faults{
 			Seed:      *faultSeed,
 			DropFrac:  *faultDrop,
@@ -98,6 +104,9 @@ func main() {
 		st.Conns, st.RPCs, st.Errors, st.FaultsInjected, float64(st.BytesOut)/1e6)
 	fmt.Printf("godivad: reader cache: %d hits, %d opens, %d evictions\n",
 		st.ReaderHits, st.ReaderOpens, st.ReaderEvicts)
+	fmt.Printf("godivad: payload cache: %d hits, %d misses, %d evictions, %.1f MB served; %d batch RPCs\n",
+		st.PayloadCacheHits, st.PayloadCacheMisses, st.PayloadCacheEvictions,
+		float64(st.BytesServedFromCache)/1e6, st.BatchRPCs)
 	if *ingest {
 		ps := srv.PushStats()
 		fmt.Printf("godivad: push: %d ingests, %d subscriptions, %d published, %d delivered, %d dropped\n",

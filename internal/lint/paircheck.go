@@ -17,6 +17,8 @@ import (
 //     computed names match any release of the pair.
 //   - the remote reader cache's acquire() must be matched by a release()
 //     or closeAll() in the same function.
+//   - the remote payload cache's acquire() and insert() pins must be
+//     matched by a release() or closeAll() in the same function.
 //   - a *Buffer obtained from GetFieldBuffer / FieldBuffer while a unit is
 //     pinned must not be used after the FinishUnit/DeleteUnit that unpins
 //     it — the buffer may be evicted at any moment after the release.
@@ -53,6 +55,16 @@ var lifecyclePairs = []lifecyclePair{
 		wildcard: []string{"closeAll"},
 		recvType: "readerCache",
 		what:     "cached reader",
+	},
+	{
+		// The payload cache pins entries on both lookup and insert; a pin
+		// that never reaches release keeps the entry (and the reader entry
+		// its done closure holds) alive forever.
+		acquire:  []string{"acquire", "insert"},
+		release:  []string{"release"},
+		wildcard: []string{"closeAll"},
+		recvType: "payloadCache",
+		what:     "pinned payload",
 	},
 }
 

@@ -54,6 +54,35 @@ func balancedReader(c *readerCache) error {
 	return nil
 }
 
+type payloadEntry struct{}
+
+type payloadCache struct{}
+
+func (c *payloadCache) acquire(key string) *payloadEntry { return nil }
+func (c *payloadCache) insert(key string, size int64) *payloadEntry {
+	return nil
+}
+func (c *payloadCache) release(e *payloadEntry) {}
+func (c *payloadCache) closeAll()               {}
+
+func leakPayloadPin(c *payloadCache) *payloadEntry {
+	return c.acquire("snap.shdf") // want paircheck `pinned payload acquired with acquire but no matching release/closeAll in leakPayloadPin`
+}
+
+func leakInsertPin(c *payloadCache) {
+	sink(c.insert("snap.shdf", 64)) // want paircheck `pinned payload acquired with insert but no matching release/closeAll in leakInsertPin`
+}
+
+func balancedPayloadPin(c *payloadCache) {
+	if e := c.acquire("snap.shdf"); e != nil {
+		c.release(e)
+		return
+	}
+	if e := c.insert("snap.shdf", 64); e != nil {
+		c.release(e)
+	}
+}
+
 func balancedUnit(db *core.DB, unit string) error {
 	if err := db.WaitUnit(unit); err != nil {
 		return err

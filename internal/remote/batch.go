@@ -1,0 +1,420 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Protocol v2.1: OpFetchBatch packs k (path, vars) fetches into one RPC and
+// the server answers with one multi-file RespOK frame, so a k-file unit
+// costs one round trip instead of k. The frame version byte stays 2 — a
+// v2.0 peer simply answers CodeBadRequest ("unknown op") and the client
+// degrades to per-file OpFetch, see Client.batchSupported.
+//
+// Request payload:
+//
+//	u16 count | per item: str path | u16 nvars | str vars...
+//
+// Response payload (RespOK):
+//
+//	u32 count
+//	per item: u8 status
+//	          status 1 (error): u16 code | str msg
+//	          status 0 (ok):    pad to 4 | u32 bodyLen | pad to 8 |
+//	                            bodyLen bytes of FilePayload body
+//
+// Every ok item's body starts at an 8-byte payload offset, so the body's
+// internal alignment pads — computed against the body's own start when it
+// was encoded (and cached) as a single-file response — line up with the
+// whole frame's alignment and both sides keep aliasing array data in place.
+
+// fetchReq is one decoded batch request item.
+type fetchReq struct {
+	path string
+	vars []string
+}
+
+// encodeBatchReq serializes an OpFetchBatch request.
+func encodeBatchReq(items []*batchItem) []byte {
+	var e enc
+	e.u16(uint16(len(items)))
+	for _, it := range items {
+		e.str(it.path)
+		e.u16(uint16(len(it.vars)))
+		for _, v := range it.vars {
+			e.str(v)
+		}
+	}
+	return e.b
+}
+
+// decodeBatchReq parses an OpFetchBatch request.
+func decodeBatchReq(body []byte) ([]fetchReq, error) {
+	d := dec{b: body}
+	n := int(d.u16())
+	reqs := make([]fetchReq, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		var r fetchReq
+		r.path = d.str()
+		nv := int(d.u16())
+		for j := 0; j < nv && d.err == nil; j++ {
+			r.vars = append(r.vars, d.str())
+		}
+		reqs = append(reqs, r)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: batch request: %v", ErrProtocol, d.err)
+	}
+	return reqs, nil
+}
+
+// batchResult is one decoded batch response item: a payload, or a
+// server-side per-item error (batch responses fail file by file, so one
+// missing snapshot does not poison its whole unit).
+type batchResult struct {
+	fp  *FilePayload
+	err *ServerError
+}
+
+// alignTo zero-pads the payload under construction to the next n-byte
+// offset (n a power of two), mirroring dec.align.
+func (s *segEnc) alignTo(n int) {
+	for (s.base+len(s.e.b))%n != 0 {
+		s.e.b = append(s.e.b, 0)
+	}
+}
+
+// appendBatchItem appends one response item to the frame under
+// construction: an error item, or an ok item whose body segments are
+// borrowed verbatim (either freshly encoded or straight from the payload
+// cache — the segments' internal pads are offset-relative, and the item
+// header pads the body to a frame offset of 0 mod 8, so they compose).
+func (s *segEnc) appendBatchItem(bodySegs [][]byte, bodyLen int, serr *ServerError) {
+	if serr != nil {
+		s.e.b = append(s.e.b, 1)
+		s.e.u16(serr.Code)
+		s.e.str(serr.Msg)
+		return
+	}
+	s.e.b = append(s.e.b, 0)
+	s.alignTo(4)
+	s.e.u32(uint32(bodyLen))
+	s.alignTo(8)
+	s.flush()
+	for _, seg := range bodySegs {
+		if len(seg) > 0 {
+			s.segs = append(s.segs, seg)
+			s.base += len(seg)
+		}
+	}
+}
+
+// decodeBatchItems parses an OpFetchBatch response into per-item results.
+// Ok bodies are decoded in place: their arrays alias body's backing buffer
+// exactly like single-file responses. copied reports array bytes that could
+// not be aliased.
+func decodeBatchItems(body []byte) (results []batchResult, copied int64, err error) {
+	d := dec{b: body}
+	n := int(d.u32())
+	for i := 0; i < n && d.err == nil; i++ {
+		st := d.need(1)
+		if st == nil {
+			break
+		}
+		if st[0] != 0 {
+			code := d.u16()
+			msg := d.str()
+			if d.err != nil {
+				break
+			}
+			results = append(results, batchResult{err: &ServerError{Code: code, Msg: msg}})
+			continue
+		}
+		d.align(4)
+		blen := int(d.u32())
+		d.align(8)
+		raw := d.need(blen)
+		if raw == nil {
+			break
+		}
+		sub := dec{b: raw}
+		fp := sub.filePayload()
+		if sub.err != nil {
+			return nil, 0, fmt.Errorf("%w: batch item %d: %v", ErrProtocol, i, sub.err)
+		}
+		copied += sub.copied
+		results = append(results, batchResult{fp: fp})
+	}
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("%w: batch response: %v", ErrProtocol, d.err)
+	}
+	return results, copied, nil
+}
+
+// --- client batching ---
+
+// batchItem is one client-side fetch owned by a batch: its single-flight
+// call entry plus the request it stands for.
+type batchItem struct {
+	key  string
+	path string
+	vars []string
+	cl   *call
+}
+
+// fetchKey is the single-flight coalescing key of a (path, vars) fetch.
+func fetchKey(path string, vars []string) string {
+	return path + "\x00" + strings.Join(vars, "\x00")
+}
+
+// batchSupported reports whether the server is believed to speak
+// OpFetchBatch. True until a batch RPC comes back CodeBadRequest — the
+// deterministic answer of a v2.0 server to an unknown op — after which
+// every fetch degrades to per-file OpFetch for the client's lifetime.
+func (c *Client) batchSupported() bool { return !c.noBatch.Load() }
+
+// FetchFiles fetches several snapshot files' payloads in one OpFetchBatch
+// round trip (chunked at MaxBatch files per RPC), returning payloads in
+// paths order. Each (path, vars) still coalesces with identical in-flight
+// fetches, shares the response frame's pooled arena with its batch mates,
+// and must be Recycled like a FetchFile result. Against a server without
+// batch support the call degrades to per-file OpFetch transparently. On
+// error every already-fetched payload is recycled and nil is returned.
+func (c *Client) FetchFiles(paths []string, vars []string) ([]*FilePayload, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	calls := make([]*call, len(paths))
+	var owned []*batchItem
+	for i, path := range paths {
+		key := fetchKey(path, vars)
+		c.stats.Fetches++
+		if cl, ok := c.calls[key]; ok {
+			c.stats.Coalesced++
+			cl.joiners++
+			calls[i] = cl
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		c.calls[key] = cl
+		calls[i] = cl
+		owned = append(owned, &batchItem{key: key, path: path, vars: vars, cl: cl})
+	}
+	c.mu.Unlock()
+	if len(owned) > 0 {
+		c.runBatch(owned)
+	}
+
+	out := make([]*FilePayload, len(paths))
+	var firstErr error
+	for i, cl := range calls {
+		fp, err := c.await(cl)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[i] = fp
+	}
+	if firstErr != nil {
+		for _, fp := range out {
+			if fp != nil {
+				fp.Recycle()
+			}
+		}
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runBatch completes every owned call, batching where the server allows it
+// and falling back to sequential per-file fetches where it does not.
+func (c *Client) runBatch(items []*batchItem) {
+	if !c.batchSupported() || c.opts.MaxBatch <= 1 || len(items) == 1 {
+		for _, it := range items {
+			c.fetchOne(it)
+		}
+		return
+	}
+	max := c.opts.MaxBatch
+	for start := 0; start < len(items); start += max {
+		end := start + max
+		if end > len(items) {
+			end = len(items)
+		}
+		if !c.fetchBatchChunk(items[start:end]) {
+			// The server does not speak OpFetchBatch (or the client is
+			// closing): the chunk's calls were NOT completed — finish them
+			// and every later chunk per file.
+			for _, it := range items[start:] {
+				c.fetchOne(it)
+			}
+			return
+		}
+	}
+}
+
+// fetchBatchChunk issues one OpFetchBatch RPC for up to MaxBatch items and
+// completes their calls. It returns false — with the items' calls left
+// uncompleted — only when the server rejected the op as unknown, so the
+// caller can degrade to per-file fetches.
+func (c *Client) fetchBatchChunk(items []*batchItem) bool {
+	body, buf, err := c.rpc(OpFetchBatch, encodeBatchReq(items))
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) && se.Code == CodeBadRequest && c.batchSupported() {
+			// A v2.0 server answers an unknown op with CodeBadRequest; a
+			// v2.1 server never answers a well-formed batch frame with it.
+			c.noBatch.Store(true)
+			return false
+		}
+		for _, it := range items {
+			c.complete(it, nil, nil, fmt.Errorf("remote: fetch batch %q: %w", it.path, err), 0)
+		}
+		return true
+	}
+	c.mu.Lock()
+	c.stats.BatchedRPCs++
+	c.mu.Unlock()
+	results, copied, err := decodeBatchItems(body)
+	if err == nil && len(results) != len(items) {
+		err = fmt.Errorf("%w: batch response has %d items, want %d", ErrProtocol, len(results), len(items))
+	}
+	if err != nil {
+		putFrameBuf(buf)
+		for _, it := range items {
+			c.complete(it, nil, nil, fmt.Errorf("remote: fetch batch %q: %w", it.path, err), 0)
+		}
+		return true
+	}
+	arena := &frameArena{buf: buf}
+	nOK := 0
+	for _, r := range results {
+		if r.fp != nil {
+			nOK++
+		}
+	}
+	if nOK == 0 {
+		putFrameBuf(buf)
+		arena = nil
+	} else {
+		arena.refs.Store(int32(nOK))
+	}
+	perItemCopied := copied // charged once, on the first ok item
+	for i, r := range results {
+		it := items[i]
+		switch {
+		case r.fp != nil:
+			r.fp.Path = it.path
+			c.complete(it, r.fp, arena, nil, perItemCopied)
+			perItemCopied = 0
+		case r.err != nil && r.err.Retryable():
+			// The server could not fit this item into the frame (or
+			// answered a transient condition): fetch it on its own, with
+			// the usual retry policy.
+			c.fetchOne(it)
+		default:
+			c.complete(it, nil, nil, fmt.Errorf("remote: fetch %q: %w", it.path, r.err), 0)
+		}
+	}
+	return true
+}
+
+// fetchOne performs one per-file OpFetch for an owned call and completes
+// it — the pre-batch fetch path, still used for single fetches, v2.0
+// servers and per-item batch fallbacks.
+func (c *Client) fetchOne(it *batchItem) {
+	body, buf, err := c.rpc(OpFetch, encodeFetchReq(it.path, it.vars))
+	var fp *FilePayload
+	var copied int64
+	if err == nil {
+		fp, copied, err = decodeFilePayload(body)
+		if fp != nil {
+			fp.Path = it.path
+		}
+		if err != nil {
+			putFrameBuf(buf)
+			buf = nil
+		}
+	}
+	if err != nil {
+		err = fmt.Errorf("remote: fetch %q: %w", it.path, err)
+	}
+	var arena *frameArena
+	if fp != nil && buf != nil {
+		arena = &frameArena{buf: buf}
+		arena.refs.Store(1)
+	}
+	c.complete(it, fp, arena, err, copied)
+}
+
+// complete publishes an owned call's result: the call leaves the
+// single-flight table, the payload's reference count covers the owner plus
+// every coalesced joiner, and the closed done channel releases them all.
+func (c *Client) complete(it *batchItem, fp *FilePayload, arena *frameArena, err error, copied int64) {
+	c.mu.Lock()
+	delete(c.calls, it.key)
+	joiners := it.cl.joiners // final: no joiner can arrive after the delete
+	if err != nil {
+		c.stats.Errors++
+	} else {
+		c.stats.BytesCopied += copied
+	}
+	c.mu.Unlock()
+	if fp != nil && arena != nil {
+		fp.arena = arena
+		fp.refs.Store(int32(1 + joiners))
+	}
+	// lint:ignore lockcheck cl.fp/cl.err are published by close(cl.done):
+	// waiters only read them after receiving from the channel, which
+	// happens-after this write. The mutex never guards these fields.
+	it.cl.fp, it.cl.err = fp, err
+	close(it.cl.done)
+}
+
+// enqueueWindowed adds an owned fetch to the batching window: distinct
+// in-flight fetches arriving within BatchWindow of each other coalesce
+// into one OpFetchBatch RPC. The first enqueuer becomes the window's
+// leader; it sleeps until the window closes (or the batch fills, or the
+// client closes) and then fires the batch for everyone. Callers wait on
+// their own call's done channel as usual.
+func (c *Client) enqueueWindowed(it *batchItem) {
+	c.mu.Lock()
+	c.pending = append(c.pending, it)
+	leader := len(c.pending) == 1
+	var flush chan struct{}
+	if leader {
+		c.flush = make(chan struct{})
+		flush = c.flush
+	} else if len(c.pending) >= c.opts.MaxBatch && c.flush != nil {
+		close(c.flush) // batch is full: wake the leader early
+		c.flush = nil
+	}
+	c.mu.Unlock()
+	if !leader {
+		return
+	}
+	timer := time.NewTimer(c.opts.BatchWindow)
+	select {
+	case <-timer.C:
+	case <-flush:
+	case <-c.done:
+		// Fall through and fire anyway: the RPC fails fast with
+		// ErrClientClosed and completes every pending call.
+	}
+	timer.Stop()
+	c.mu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.flush = nil
+	c.mu.Unlock()
+	c.runBatch(batch)
+}

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"godiva/internal/genx"
@@ -35,6 +35,22 @@ type ClientOptions struct {
 	// and 500ms.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// MaxBatch caps how many files one OpFetchBatch RPC carries (default
+	// 8). FetchFiles chunks larger requests; 1 disables batching.
+	MaxBatch int
+	// BatchWindow, when positive, holds each FetchFile for up to this long
+	// so distinct concurrent fetches coalesce into one OpFetchBatch RPC
+	// (Nagle for fetches). Off by default: single fetches keep their
+	// latency, and FetchFiles callers batch explicitly.
+	BatchWindow time.Duration
+	// IdleConnTimeout drops pooled connections unused for this long
+	// (default 60s), so a quiet client does not pin dead TCP state across
+	// server restarts. Negative disables idle reaping.
+	IdleConnTimeout time.Duration
+	// ConnMaxAge recycles pooled connections older than this regardless of
+	// use (default 10m), bounding how long a long-lived voyager keeps any
+	// one conn. Negative disables age recycling.
+	ConnMaxAge time.Duration
 }
 
 func (o *ClientOptions) setDefaults() {
@@ -58,6 +74,15 @@ func (o *ClientOptions) setDefaults() {
 	if o.RetryMax <= 0 {
 		o.RetryMax = 500 * time.Millisecond
 	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.IdleConnTimeout == 0 {
+		o.IdleConnTimeout = 60 * time.Second
+	}
+	if o.ConnMaxAge == 0 {
+		o.ConnMaxAge = 10 * time.Minute
+	}
 }
 
 // RemoteStats is a snapshot of the client's operation counters, surfaced
@@ -70,8 +95,10 @@ type RemoteStats struct {
 	Retries   int64 // attempts beyond the first, after transient failures
 	Errors    int64 // fetches that failed permanently (retries exhausted
 	//                         or a non-retryable protocol error)
-	BytesIn     int64 // response payload bytes received
-	BytesCopied int64 // payload array bytes copied while decoding fetches
+	BatchedRPCs   int64 // OpFetchBatch frames answered (each covers many fetches)
+	ConnsRecycled int64 // pooled conns dropped for idleness or age
+	BytesIn       int64 // response payload bytes received
+	BytesCopied   int64 // payload array bytes copied while decoding fetches
 	//                   (the rest alias the pooled response frame; nonzero
 	//                   only on big-endian hosts)
 	Latency time.Duration // cumulative round-trip time of successful RPCs
@@ -92,24 +119,35 @@ type call struct {
 // RPC, and transient failures are retried with exponential backoff and
 // jitter.
 type Client struct {
-	opts ClientOptions
-	sem  chan struct{} // bounds concurrent in-use connections
-	done chan struct{} // closed by Close
+	opts    ClientOptions
+	sem     chan struct{} // bounds concurrent in-use connections
+	done    chan struct{} // closed by Close
+	noBatch atomic.Bool   // server answered OpFetchBatch with "unknown op"
 
-	mu     sync.Mutex
-	idle   []net.Conn
-	calls  map[string]*call
-	subs   map[*Subscription]struct{}
-	rng    *rand.Rand
-	stats  RemoteStats
-	closed bool
+	mu      sync.Mutex
+	idle    []*pooledConn
+	calls   map[string]*call
+	pending []*batchItem  // fetches parked in the batching window
+	flush   chan struct{} // closed to wake the window leader early
+	subs    map[*Subscription]struct{}
+	rng     *rand.Rand
+	stats   RemoteStats
+	closed  bool
+}
+
+// pooledConn is one idle pooled connection with the stamps conn-pool
+// hygiene runs on.
+type pooledConn struct {
+	conn net.Conn
+	born time.Time // dial time, for ConnMaxAge
+	last time.Time // last return to the pool, for IdleConnTimeout
 }
 
 // NewClient creates a client for the given server. Connections are dialed
 // lazily; use Ping to verify the server is reachable.
 func NewClient(opts ClientOptions) *Client {
 	opts.setDefaults()
-	return &Client{
+	c := &Client{
 		opts:  opts,
 		sem:   make(chan struct{}, opts.PoolSize),
 		done:  make(chan struct{}),
@@ -117,6 +155,67 @@ func NewClient(opts ClientOptions) *Client {
 		subs:  make(map[*Subscription]struct{}),
 		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	if opts.IdleConnTimeout > 0 || opts.ConnMaxAge > 0 {
+		go c.reapLoop()
+	}
+	return c
+}
+
+// reapLoop periodically sweeps the idle pool for connections past their
+// idle timeout or max age, so dead TCP state (a restarted server, a dropped
+// NAT mapping) is shed without waiting for the next fetch to trip over it.
+func (c *Client) reapLoop() {
+	period := c.opts.IdleConnTimeout
+	if period <= 0 || (c.opts.ConnMaxAge > 0 && c.opts.ConnMaxAge < period) {
+		period = c.opts.ConnMaxAge
+	}
+	period /= 4
+	if period < 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.reapIdle(time.Now())
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// reapIdle closes and drops every pooled connection that is stale at now,
+// counting each in ConnsRecycled.
+func (c *Client) reapIdle(now time.Time) {
+	var dead []*pooledConn
+	c.mu.Lock()
+	kept := c.idle[:0]
+	for _, pc := range c.idle {
+		if c.staleLocked(pc, now) {
+			dead = append(dead, pc)
+		} else {
+			kept = append(kept, pc)
+		}
+	}
+	c.idle = kept
+	c.stats.ConnsRecycled += int64(len(dead))
+	c.mu.Unlock()
+	for _, pc := range dead {
+		pc.conn.Close()
+	}
+}
+
+// staleLocked reports whether a pooled connection is past its idle timeout
+// or max age.
+func (c *Client) staleLocked(pc *pooledConn, now time.Time) bool {
+	if t := c.opts.IdleConnTimeout; t > 0 && now.Sub(pc.last) > t {
+		return true
+	}
+	if t := c.opts.ConnMaxAge; t > 0 && now.Sub(pc.born) > t {
+		return true
+	}
+	return false
 }
 
 // Stats returns a snapshot of the client counters.
@@ -146,8 +245,8 @@ func (c *Client) Close() error {
 	}
 	c.mu.Unlock()
 	close(c.done)
-	for _, conn := range idle {
-		conn.Close()
+	for _, pc := range idle {
+		pc.conn.Close()
 	}
 	for _, sub := range subs {
 		sub.Close()
@@ -205,7 +304,7 @@ func (c *Client) Ingest(path string, fp *FilePayload) error {
 // caller that got the payload should call its Recycle when done with it so
 // the buffer is reused (and must not touch the payload afterwards).
 func (c *Client) FetchFile(path string, vars []string) (*FilePayload, error) {
-	key := path + "\x00" + strings.Join(vars, "\x00")
+	key := fetchKey(path, vars)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -216,59 +315,32 @@ func (c *Client) FetchFile(path string, vars []string) (*FilePayload, error) {
 		c.stats.Coalesced++
 		cl.joiners++
 		c.mu.Unlock()
-		select {
-		case <-cl.done:
-			// lint:ignore lockcheck cl.fp/cl.err are written once by the
-			// fetching goroutine before close(cl.done); the receive above
-			// happens-after that write, so no mutex is needed here.
-			return cl.fp, cl.err
-		case <-c.done:
-			return nil, ErrClientClosed
-		}
+		return c.await(cl)
 	}
 	cl := &call{done: make(chan struct{})}
 	c.calls[key] = cl
 	c.mu.Unlock()
-
-	body, buf, err := c.rpc(OpFetch, encodeFetchReq(path, vars))
-	var fp *FilePayload
-	var copied int64
-	if err == nil {
-		fp, copied, err = decodeFilePayload(body)
-		if fp != nil {
-			fp.Path = path
-		}
-		if err != nil {
-			putFrameBuf(buf)
-			buf = nil
-		}
-	}
-	if err != nil {
-		err = fmt.Errorf("remote: fetch %q: %w", path, err)
-	}
-
-	c.mu.Lock()
-	delete(c.calls, key)
-	joiners := cl.joiners // final: no joiner can arrive after the delete
-	if err != nil {
-		c.stats.Errors++
+	it := &batchItem{key: key, path: path, vars: vars, cl: cl}
+	if c.opts.BatchWindow > 0 && c.opts.MaxBatch > 1 && c.batchSupported() {
+		c.enqueueWindowed(it)
 	} else {
-		c.stats.BytesCopied += copied
+		c.fetchOne(it)
 	}
-	c.mu.Unlock()
-	if fp != nil && buf != nil {
-		// One reference per fetcher sharing the payload. A joiner that bailed
-		// out on client close never recycles; the arena is then simply
-		// garbage collected instead of pooled.
-		fp.arena = buf
-		fp.refs.Store(int32(1 + joiners))
+	return c.await(cl)
+}
+
+// await blocks until a call completes (or the client closes) and returns
+// its result.
+func (c *Client) await(cl *call) (*FilePayload, error) {
+	select {
+	case <-cl.done:
+		// lint:ignore lockcheck cl.fp/cl.err are written once by the
+		// completing goroutine before close(cl.done); the receive above
+		// happens-after that write, so no mutex is needed here.
+		return cl.fp, cl.err
+	case <-c.done:
+		return nil, ErrClientClosed
 	}
-	// lint:ignore lockcheck cl.fp/cl.err are published by close(cl.done):
-	// joiners only read them after receiving from the channel, which
-	// happens-after this write. The mutex never guards these fields.
-	cl.fp, cl.err = fp, err
-	close(cl.done)
-	return fp, err
 }
 
 // retryable reports whether an attempt's failure is worth retrying.
@@ -347,10 +419,11 @@ func (c *Client) attempt(op byte, segs [][]byte) ([]byte, []byte, error) {
 	c.mu.Lock()
 	c.stats.RPCs++
 	c.mu.Unlock()
-	conn, err := c.getConn()
+	pc, err := c.getConn()
 	if err != nil {
 		return nil, nil, err
 	}
+	conn := pc.conn
 	deadline := start.Add(c.opts.RequestTimeout)
 	conn.SetDeadline(deadline)
 	rop, buf, rbody, err := func() (byte, []byte, []byte, error) {
@@ -367,7 +440,7 @@ func (c *Client) attempt(op byte, segs [][]byte) ([]byte, []byte, error) {
 		return nil, nil, err
 	}
 	conn.SetDeadline(time.Time{})
-	c.putConn(conn)
+	c.putConn(pc)
 	if rop == RespErr {
 		serr := decodeErr(rbody)
 		putFrameBuf(buf)
@@ -387,45 +460,61 @@ func (c *Client) attempt(op byte, segs [][]byte) ([]byte, []byte, error) {
 // getConn acquires a pool slot and returns an idle or freshly dialed
 // connection. Every successful getConn must be paired with putConn or
 // releaseSlot.
-func (c *Client) getConn() (net.Conn, error) {
+func (c *Client) getConn() (*pooledConn, error) {
 	select {
 	case c.sem <- struct{}{}:
 	case <-c.done:
 		return nil, ErrClientClosed
 	}
+	now := time.Now()
+	var stale []*pooledConn
+	var pc *pooledConn
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		c.releaseSlot()
 		return nil, ErrClientClosed
 	}
-	var conn net.Conn
-	if n := len(c.idle); n > 0 {
-		conn = c.idle[n-1]
+	for pc == nil && len(c.idle) > 0 {
+		n := len(c.idle)
+		cand := c.idle[n-1]
 		c.idle = c.idle[:n-1]
+		if c.staleLocked(cand, now) {
+			// Recycle rather than reuse: a conn idle past the timeout (or
+			// simply old) may be dead server-side, and a fresh dial is
+			// cheaper than burning a retry on it.
+			stale = append(stale, cand)
+			c.stats.ConnsRecycled++
+			continue
+		}
+		pc = cand
 	}
 	c.mu.Unlock()
-	if conn != nil {
-		return conn, nil
+	for _, s := range stale {
+		s.conn.Close()
+	}
+	if pc != nil {
+		return pc, nil
 	}
 	conn, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
 	if err != nil {
 		c.releaseSlot()
 		return nil, err
 	}
-	return conn, nil
+	return &pooledConn{conn: conn, born: now, last: now}, nil
 }
 
 // putConn returns a healthy connection to the idle pool.
-func (c *Client) putConn(conn net.Conn) {
+func (c *Client) putConn(pc *pooledConn) {
+	pc.last = time.Now()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		conn.Close()
+		pc.conn.Close()
 		c.releaseSlot()
 		return
 	}
-	c.idle = append(c.idle, conn)
+	c.idle = append(c.idle, pc)
 	c.mu.Unlock()
 	c.releaseSlot()
 }

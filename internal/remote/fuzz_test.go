@@ -42,6 +42,62 @@ func FuzzFilePayload(f *testing.F) {
 	})
 }
 
+// FuzzBatchFrame feeds arbitrary bodies through the OpFetchBatch response
+// decoder — the multi-file frames a client accepts from a v2.1 server — and
+// round-trips whatever decodes: every ok item re-encodes through the same
+// segment encoder the server uses (cached segments included), every error
+// item must keep its code and message, and nothing may panic.
+func FuzzBatchFrame(f *testing.F) {
+	for _, s := range batchSeedInputs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		results, _, err := decodeBatchItems(b)
+		if err != nil {
+			return // rejected: the desired outcome for damaged frames
+		}
+		var out segEnc
+		out.e.u32(uint32(len(results)))
+		for _, r := range results {
+			if r.err != nil {
+				out.appendBatchItem(nil, 0, r.err)
+				continue
+			}
+			segs, _, err := encodeFilePayloadSegments(r.fp, maxFrame-2)
+			if err != nil {
+				t.Fatalf("re-encoding a decoded batch item failed: %v", err)
+			}
+			size := 0
+			for _, s := range segs {
+				size += len(s)
+			}
+			out.appendBatchItem(segs, size, nil)
+		}
+		out.flush()
+		again, _, err := decodeBatchItems(flattenSegments(out.segs))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded batch frame failed: %v", err)
+		}
+		if len(again) != len(results) {
+			t.Fatalf("round trip changed item count: %d != %d", len(again), len(results))
+		}
+		for i := range results {
+			if results[i].err != nil {
+				if again[i].err == nil || again[i].err.Code != results[i].err.Code ||
+					again[i].err.Msg != results[i].err.Msg {
+					t.Fatalf("round trip changed error item %d: %+v != %+v",
+						i, again[i].err, results[i].err)
+				}
+				continue
+			}
+			if again[i].fp == nil {
+				t.Fatalf("round trip lost ok item %d", i)
+			}
+			samePayload(t, again[i].fp, results[i].fp)
+		}
+	})
+}
+
 // FuzzSpec does the same for the OpSpec payload.
 func FuzzSpec(f *testing.F) {
 	for _, s := range specSeedInputs() {
@@ -154,6 +210,38 @@ func payloadSeedInputs() [][]byte {
 	return seeds
 }
 
+// batchSeedInputs seeds FuzzBatchFrame: a valid 3-item frame (two payloads
+// around an error item, exactly what a partly-failing batch answers), its
+// interesting truncations, and an item-count mutation.
+func batchSeedInputs() [][]byte {
+	segs, _, err := encodeFilePayloadSegments(samplePayload(), maxFrame-2)
+	if err != nil {
+		panic(err)
+	}
+	size := 0
+	for _, s := range segs {
+		size += len(s)
+	}
+	var out segEnc
+	out.e.u32(3)
+	out.appendBatchItem(segs, size, nil)
+	out.appendBatchItem(nil, 0, &ServerError{Code: CodeNotFound, Msg: "no such snapshot"})
+	out.appendBatchItem(segs, size, nil)
+	out.flush()
+	data := flattenSegments(out.segs)
+	seeds := [][]byte{data}
+	for _, n := range []int{0, 4, 5, 16, len(data) / 2, len(data) - 1} {
+		if n <= len(data) {
+			seeds = append(seeds, append([]byte(nil), data[:n]...))
+		}
+	}
+	// Wild item count: the u32 count is the frame's first field.
+	mut := append([]byte(nil), data...)
+	mut[0], mut[1], mut[2], mut[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	seeds = append(seeds, mut)
+	return seeds
+}
+
 // specSeedInputs seeds FuzzSpec with a valid encoding and truncations.
 func specSeedInputs() [][]byte {
 	data := encodeSpec(genx.Spec{Snapshots: 32, FilesPerSnapshot: 8, Blocks: 120, DT: 2.5e-5})
@@ -216,6 +304,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	}
 	for fuzz, seeds := range map[string][][]byte{
 		"FuzzFilePayload": payloadSeedInputs(),
+		"FuzzBatchFrame":  batchSeedInputs(),
 		"FuzzSpec":        specSeedInputs(),
 		"FuzzSubSpec":     subSpecSeedInputs(),
 		"FuzzEventFrame":  eventSeedInputs(),

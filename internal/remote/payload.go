@@ -29,10 +29,28 @@ type FilePayload struct {
 
 	// arena is the pooled response-frame buffer whose payload region the
 	// block arrays alias; nil when the payload was not decoded from a
-	// pooled frame. refs counts the fetchers sharing the payload (the
-	// owner plus every coalesced joiner); the last Recycle pools the arena.
-	arena []byte
+	// pooled frame. A batched response decodes several payloads from one
+	// frame, so the arena is shared and refcounted separately. refs counts
+	// the fetchers sharing this payload (the owner plus every coalesced
+	// joiner); the last Recycle drops the payload's claim on the arena.
+	arena *frameArena
 	refs  atomic.Int32
+}
+
+// frameArena is one pooled response-frame buffer shared by every
+// FilePayload decoded from it. refs counts those payloads; when the last
+// one is fully recycled the buffer returns to the frame pool.
+type frameArena struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+// release drops one payload's claim on the arena, pooling the buffer when
+// it was the last.
+func (a *frameArena) release() {
+	if a.refs.Add(-1) == 0 {
+		putFrameBuf(a.buf)
+	}
 }
 
 // Recycle releases the caller's claim on the payload. Once every fetcher
@@ -48,10 +66,10 @@ func (fp *FilePayload) Recycle() {
 	if fp.refs.Add(-1) > 0 {
 		return
 	}
-	buf := fp.arena
+	arena := fp.arena
 	fp.arena = nil
 	fp.Blocks = nil // fail fast on use-after-recycle
-	putFrameBuf(buf)
+	arena.release()
 }
 
 // Bytes returns the payload's approximate data volume: the raw size of every

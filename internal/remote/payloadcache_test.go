@@ -1,0 +1,201 @@
+package remote
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cacheSegs builds a fake cached response of n bytes.
+func cacheSegs(n int) [][]byte {
+	return [][]byte{make([]byte, n)}
+}
+
+func TestPayloadCacheHitPinEvict(t *testing.T) {
+	pc := newPayloadCache(1000)
+	var closed [3]bool
+	ins := func(i int, size int) *payloadEntry {
+		key := fmt.Sprintf("k%d", i)
+		e := pc.insert(key, "p", pc.gen("p"), cacheSegs(size), int64(size), func() { closed[i] = true })
+		if e == nil {
+			t.Fatalf("insert %s declined", key)
+		}
+		return e
+	}
+
+	e0 := ins(0, 400)
+	pc.release(e0)
+	if got := pc.acquire("k0"); got != e0 {
+		t.Fatalf("acquire(k0) = %p, want %p", got, e0)
+	}
+	pc.release(e0)
+	if got := pc.acquire("nope"); got != nil {
+		t.Fatalf("acquire(miss) = %p, want nil", got)
+	}
+	hits, misses, evicts, served := pc.counters()
+	if hits != 1 || misses != 1 || evicts != 0 || served != 400 {
+		t.Fatalf("counters = %d/%d/%d/%d, want 1/1/0/400", hits, misses, evicts, served)
+	}
+
+	// Over budget with k0 unpinned and cold (its used bit cleared by one
+	// CLOCK pass): inserting two more 400s evicts it.
+	e1 := ins(1, 400)
+	pc.release(e1)
+	e2 := ins(2, 400)
+	pc.release(e2)
+	if !closed[0] {
+		t.Fatal("eviction did not run the victim's reader release")
+	}
+	if pc.acquire("k0") != nil {
+		t.Fatal("evicted entry still acquirable")
+	}
+	if closed[1] || closed[2] {
+		t.Fatal("eviction closed a surviving entry")
+	}
+
+	// A pinned entry is never evicted: pin k1, then force pressure.
+	if pc.acquire("k1") != e1 {
+		t.Fatal("k1 gone")
+	}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("fill%d", i)
+		if e := pc.insert(key, "p", pc.gen("p"), cacheSegs(300), 300, func() {}); e != nil {
+			pc.release(e)
+		}
+	}
+	if closed[1] {
+		t.Fatal("pinned entry was evicted")
+	}
+	pc.release(e1)
+	pc.closeAll()
+	if !closed[1] || !closed[2] {
+		t.Fatal("closeAll left reader releases unrun")
+	}
+}
+
+func TestPayloadCacheInsertDeclines(t *testing.T) {
+	pc := newPayloadCache(100)
+	if e := pc.insert("big", "p", 0, cacheSegs(101), 101, nil); e != nil {
+		t.Fatal("insert over the whole budget should decline")
+	}
+	gen := pc.gen("p")
+	pc.invalidate("p") // generation moves while the builder was reading
+	if e := pc.insert("k", "p", gen, cacheSegs(10), 10, nil); e != nil {
+		t.Fatal("insert with a stale generation should decline")
+	}
+	e := pc.insert("k", "p", pc.gen("p"), cacheSegs(10), 10, func() {})
+	if e == nil {
+		t.Fatal("fresh insert declined")
+	}
+	if dup := pc.insert("k", "p", pc.gen("p"), cacheSegs(10), 10, nil); dup != nil {
+		t.Fatal("duplicate-key insert should decline (racing builder lost)")
+	}
+	pc.release(e)
+	pc.closeAll()
+}
+
+func TestPayloadCacheInvalidatePinned(t *testing.T) {
+	pc := newPayloadCache(1000)
+	var closed atomic.Int32
+	e := pc.insert("k", "p", pc.gen("p"), cacheSegs(10), 10, func() { closed.Add(1) })
+	if e == nil {
+		t.Fatal("insert declined")
+	}
+	pc.invalidate("p") // entry is pinned by the in-flight response write
+	if closed.Load() != 0 {
+		t.Fatal("invalidate closed an entry still being sent")
+	}
+	if pc.acquire("k") != nil {
+		t.Fatal("doomed entry still acquirable")
+	}
+	pc.release(e)
+	if closed.Load() != 1 {
+		t.Fatal("last release of a doomed entry must run the reader release")
+	}
+	pc.closeAll()
+	if closed.Load() != 1 {
+		t.Fatal("closeAll re-ran a spent reader release")
+	}
+}
+
+// TestPayloadCacheChurn hammers one small cache from concurrent fetchers
+// and invalidators (the OpIngest rename path) under the race detector, and
+// then checks the pin ledger: every reader release the cache ever owned ran
+// exactly once. BATCH_CHURN_TIME stretches the run (verify.sh's batch
+// stage uses 10s); the default keeps plain `go test` fast.
+func TestPayloadCacheChurn(t *testing.T) {
+	d := time.Second
+	if s := os.Getenv("BATCH_CHURN_TIME"); s != "" {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad BATCH_CHURN_TIME %q: %v", s, err)
+		}
+		d = v
+	}
+	pc := newPayloadCache(16 << 10) // tiny budget: constant eviction
+	paths := []string{"a.shdf", "b.shdf", "c.shdf", "d.shdf"}
+
+	var made, ran atomic.Int64
+	mkDone := func() func() {
+		made.Add(1)
+		var once atomic.Bool
+		return func() {
+			if !once.CompareAndSwap(false, true) {
+				t.Error("reader release ran twice")
+			}
+			ran.Add(1)
+		}
+	}
+
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				path := paths[rng.Intn(len(paths))]
+				key := fetchKey(path, []string{"v"})
+				if e := pc.acquire(key); e != nil {
+					if len(e.segs) == 0 {
+						t.Error("cached entry lost its segments")
+					}
+					pc.release(e)
+					continue
+				}
+				gen := pc.gen(path)
+				size := 512 + rng.Intn(4096)
+				done := mkDone()
+				if e := pc.insert(key, path, gen, cacheSegs(size), int64(size), done); e != nil {
+					pc.release(e)
+				} else {
+					// Declined: the builder keeps its own reader pin and
+					// releases it once its response is written.
+					done()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for time.Now().Before(deadline) {
+			pc.invalidate(paths[rng.Intn(len(paths))])
+			time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	pc.closeAll()
+	if made.Load() != ran.Load() {
+		t.Fatalf("reader-release ledger unbalanced: %d made, %d ran (leaked pins)",
+			made.Load(), ran.Load())
+	}
+	hits, misses, _, _ := pc.counters()
+	t.Logf("churn: %d hits, %d misses, %d releases", hits, misses, ran.Load())
+}

@@ -51,9 +51,14 @@ const (
 	OpFetch     byte = 0x03 // one snapshot file's unit payload
 	OpIngest    byte = 0x04 // producer pushes one snapshot file's payload
 	OpSubscribe byte = 0x05 // turn the connection into an event stream
-	RespOK      byte = 0x80
-	RespErr     byte = 0x81
-	OpEvent     byte = 0x82 // one subscription event; empty body = heartbeat
+	// OpFetchBatch (v2.1) packs several OpFetch requests into one RPC; the
+	// server answers a multi-file RespOK frame (see batch.go). The frame
+	// version byte stays 2: a pre-batch server answers CodeBadRequest for
+	// the unknown op and clients degrade to per-file OpFetch.
+	OpFetchBatch byte = 0x06
+	RespOK       byte = 0x80
+	RespErr      byte = 0x81
+	OpEvent      byte = 0x82 // one subscription event; empty body = heartbeat
 )
 
 // Protocol error codes carried by RespErr frames. Only CodeUnavailable is

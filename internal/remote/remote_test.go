@@ -317,8 +317,11 @@ func TestServerDownAtOpen(t *testing.T) {
 	if st := db.Stats(); st.UnitsFailed != 1 {
 		t.Fatalf("UnitsFailed = %d, want 1", st.UnitsFailed)
 	}
-	if rs := c.Stats(); rs.Errors != 1 || rs.Retries != 2 {
-		t.Fatalf("client stats = %+v, want 1 error after 2 retries", rs)
+	// The pipelined read function asks for both of the unit's files in one
+	// batch, so the dead server fails 2 logical fetches over a single wire
+	// stream: 1 + MaxRetries RPC attempts, 2 retries, one error per fetch.
+	if rs := c.Stats(); rs.Errors != 2 || rs.Retries != 2 || rs.RPCs != 3 {
+		t.Fatalf("client stats = %+v, want 2 errors after 2 retries on 3 attempts", rs)
 	}
 }
 

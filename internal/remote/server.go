@@ -31,6 +31,15 @@ type ServerOptions struct {
 	// readers hold their SHDF directory and block table in memory, so a
 	// cached file answers fetches without re-reading either.
 	ReaderCache int
+	// PayloadCache budgets the pinned payload cache in bytes: encoded
+	// response segments kept per (path, vars) and scatter-sent verbatim to
+	// every later fetcher of the same hot file. 0 means the 64 MiB
+	// default; negative disables the cache.
+	PayloadCache int64
+	// DisableBatch makes the server answer OpFetchBatch like a pre-batch
+	// (v2.0) server would — CodeBadRequest, unknown op — so client
+	// fallback paths are testable end to end.
+	DisableBatch bool
 	// IdleTimeout disconnects clients idle longer than this (default 5m).
 	IdleTimeout time.Duration
 	// Ingest accepts OpIngest requests: producers may push new snapshot
@@ -86,6 +95,12 @@ type ServerStats struct {
 	ReaderOpens  int64 // snapshot files opened
 	ReaderEvicts int64 // cached readers closed by LRU pressure
 
+	BatchRPCs             int64 // OpFetchBatch requests answered
+	PayloadCacheHits      int64 // fetches served from cached encoded segments
+	PayloadCacheMisses    int64 // fetches that had to encode their response
+	PayloadCacheEvictions int64 // cached payloads dropped (pressure or ingest)
+	BytesServedFromCache  int64 // payload bytes scatter-sent from the cache
+
 	Ingests       int64 // snapshot files accepted via OpIngest
 	Subscriptions int64 // OpSubscribe streams accepted
 	EventsOut     int64 // OpEvent frames written (heartbeats excluded)
@@ -94,10 +109,11 @@ type ServerStats struct {
 // Server serves unit payloads out of a directory of SHDF snapshot files.
 // Start one with Serve; stop it with Close.
 type Server struct {
-	opts  ServerOptions
-	ln    net.Listener
-	cache *readerCache
-	reg   *push.Registry
+	opts     ServerOptions
+	ln       net.Listener
+	cache    *readerCache
+	payloads *payloadCache // nil when disabled
+	reg      *push.Registry
 
 	mu     sync.Mutex
 	spec   genx.Spec // grows as OpIngest lands new steps
@@ -121,6 +137,9 @@ func Serve(opts ServerOptions) (*Server, error) {
 	}
 	if opts.IdleTimeout <= 0 {
 		opts.IdleTimeout = 5 * time.Minute
+	}
+	if opts.PayloadCache == 0 {
+		opts.PayloadCache = 64 << 20
 	}
 	if opts.Heartbeat <= 0 {
 		opts.Heartbeat = opts.IdleTimeout / 2
@@ -147,12 +166,13 @@ func Serve(opts ServerOptions) (*Server, error) {
 		return nil, fmt.Errorf("remote: listen: %w", err)
 	}
 	s := &Server{
-		opts:  opts,
-		spec:  spec,
-		ln:    ln,
-		cache: newReaderCache(opts.ReaderCache),
-		reg:   push.NewRegistry(),
-		conns: make(map[net.Conn]struct{}),
+		opts:     opts,
+		spec:     spec,
+		ln:       ln,
+		cache:    newReaderCache(opts.ReaderCache),
+		payloads: newPayloadCache(opts.PayloadCache),
+		reg:      push.NewRegistry(),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.mu.Lock()
 	s.setFaultsLocked(opts.Faults)
@@ -181,6 +201,8 @@ func (s *Server) Stats() ServerStats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.ReaderHits, st.ReaderOpens, st.ReaderEvicts = s.cache.counters()
+	st.PayloadCacheHits, st.PayloadCacheMisses, st.PayloadCacheEvictions,
+		st.BytesServedFromCache = s.payloads.counters()
 	return st
 }
 
@@ -223,6 +245,9 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	// Payload-cache entries pin reader-cache entries, so tear them down
+	// first: their reader releases must run before the readers close.
+	s.payloads.closeAll()
 	s.cache.closeAll()
 	return err
 }
@@ -298,7 +323,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 		// Fault injection on the data path only, so health checks and spec
 		// discovery stay reliable.
-		if op == OpFetch {
+		if op == OpFetch || op == OpFetchBatch {
 			switch action, delay := s.faultAction(); action {
 			case faultDrop:
 				// Sever mid-payload: the header promises the full response,
@@ -409,14 +434,8 @@ func (s *Server) handleRequest(op byte, body []byte) (rop byte, segs [][]byte, d
 		if err != nil {
 			return countErr(CodeBadRequest, err.Error())
 		}
-		fp, release, err := s.fetch(path, vars)
+		segs, _, copied, release, err := s.serveFile(path, vars)
 		if err != nil {
-			s.logf("remote: fetch %s: %v", path, err)
-			return countErr(errCode(err), err.Error())
-		}
-		segs, copied, err := encodeFilePayloadSegments(fp, maxFrame-2)
-		if err != nil {
-			release()
 			s.logf("remote: fetch %s: %v", path, err)
 			return countErr(errCode(err), err.Error())
 		}
@@ -424,6 +443,20 @@ func (s *Server) handleRequest(op byte, body []byte) (rop byte, segs [][]byte, d
 		s.stats.BytesCopied += copied
 		s.mu.Unlock()
 		return RespOK, segs, release
+	case OpFetchBatch:
+		if s.opts.DisableBatch {
+			// Answer exactly like a pre-batch server: unknown op. Clients
+			// key their fallback on this.
+			return countErr(CodeBadRequest, fmt.Sprintf("unknown op %#02x", op))
+		}
+		reqs, err := decodeBatchReq(body)
+		if err != nil || len(reqs) == 0 {
+			if err == nil {
+				err = fmt.Errorf("%w: empty batch", ErrProtocol)
+			}
+			return countErr(CodeBadRequest, err.Error())
+		}
+		return s.serveBatch(reqs)
 	default:
 		return countErr(CodeBadRequest, fmt.Sprintf("unknown op %#02x", op))
 	}
@@ -447,6 +480,88 @@ func errCode(err error) uint16 {
 		return CodeCorrupt
 	default:
 		return CodeInternal
+	}
+}
+
+// serveFile returns one (path, vars) fetch's encoded response body as
+// scattered segments, served verbatim from the payload cache when the same
+// request was encoded before. On a miss the response is encoded from a
+// pinned reader and offered to the cache, which takes over the reader's
+// release; either way the returned done func (pair with the written frame)
+// keeps the segments' backing memory — a cache entry or the reader's mmap —
+// alive until it runs. size is the total payload length; copied counts
+// array bytes that could not be borrowed (0 on a hit: cached segments go
+// to the socket as-is).
+func (s *Server) serveFile(path string, vars []string) (segs [][]byte, size int, copied int64, done func(), err error) {
+	key := fetchKey(path, vars)
+	var gen uint64
+	if s.payloads != nil {
+		if e := s.payloads.acquire(key); e != nil {
+			return e.segs, int(e.size), 0, func() { s.payloads.release(e) }, nil
+		}
+		// Captured before the read: an ingest landing between here and
+		// insert bumps it, and insert then refuses the stale segments.
+		gen = s.payloads.gen(path)
+	}
+	fp, release, err := s.fetch(path, vars)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	segs, copied, err = encodeFilePayloadSegments(fp, maxFrame-2)
+	if err != nil {
+		release()
+		return nil, 0, 0, nil, err
+	}
+	for _, seg := range segs {
+		size += len(seg)
+	}
+	if s.payloads != nil {
+		if e := s.payloads.insert(key, path, gen, segs, int64(size), release); e != nil {
+			return segs, size, copied, func() { s.payloads.release(e) }, nil
+		}
+	}
+	return segs, size, copied, release, nil
+}
+
+// serveBatch answers one OpFetchBatch request: every item is fetched
+// through serveFile (so hot files hit the payload cache) and appended to a
+// single multi-file response frame. Items fail independently — a missing
+// file yields an error item, not an error frame — and an item that would
+// overflow the frame cap is answered CodeUnavailable so the client fetches
+// it on its own.
+func (s *Server) serveBatch(reqs []fetchReq) (byte, [][]byte, func()) {
+	var out segEnc
+	out.e.u32(uint32(len(reqs)))
+	var releases []func()
+	var copied int64
+	for _, r := range reqs {
+		segs, size, cp, done, err := s.serveFile(r.path, r.vars)
+		if err != nil {
+			s.countError()
+			s.logf("remote: fetch %s: %v", r.path, err)
+			out.appendBatchItem(nil, 0, &ServerError{Code: errCode(err), Msg: err.Error()})
+			continue
+		}
+		// Worst-case item preamble: status byte, pad to 4, u32 length,
+		// pad to 8 — 15 bytes.
+		if out.base+len(out.e.b)+15+size > maxFrame-2 {
+			done()
+			out.appendBatchItem(nil, 0, &ServerError{Code: CodeUnavailable, Msg: "batch frame full"})
+			continue
+		}
+		copied += cp
+		out.appendBatchItem(segs, size, nil)
+		releases = append(releases, done)
+	}
+	out.flush()
+	s.mu.Lock()
+	s.stats.BatchRPCs++
+	s.stats.BytesCopied += copied
+	s.mu.Unlock()
+	return RespOK, out.segs, func() {
+		for _, f := range releases {
+			f()
+		}
 	}
 }
 
@@ -513,6 +628,10 @@ func (s *Server) ingest(path string, fp *FilePayload) error {
 		return err
 	}
 	s.cache.invalidate(dst)
+	// Cached encoded responses for the replaced file are stale too (and
+	// their generation bump keeps in-flight builders from re-caching old
+	// bytes). Payload-cache keys use the request path, not the joined one.
+	s.payloads.invalidate(path)
 
 	fields := make(map[string]struct{})
 	maxBlock := 0

@@ -263,8 +263,8 @@ func TestFetchZeroCopyEndToEnd(t *testing.T) {
 	if fp.arena == nil {
 		t.Fatal("fetched payload has no pooled frame backing")
 	}
-	start := uintptr(unsafe.Pointer(&fp.arena[0]))
-	end := start + uintptr(len(fp.arena))
+	start := uintptr(unsafe.Pointer(&fp.arena.buf[0]))
+	end := start + uintptr(len(fp.arena.buf))
 	for _, bd := range fp.Blocks {
 		if p := uintptr(unsafe.Pointer(&bd.Mesh.Coords[0])); p < start || p >= end {
 			t.Fatalf("block %s coords do not alias the response frame", bd.Name)
@@ -296,7 +296,8 @@ func TestRecycleRefCounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got.arena = buf
+	got.arena = &frameArena{buf: buf}
+	got.arena.refs.Store(1)
 	got.refs.Store(2) // owner plus one coalesced joiner
 
 	got.Recycle()

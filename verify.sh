@@ -22,6 +22,10 @@
 #               mixed-policy subscribers and subscribe/unsubscribe churn
 #               against one registry (duration from VERIFY_PUSHTIME,
 #               default 10s)
+#   batch       payload-cache churn under the race detector: concurrent
+#               fetchers and ingest invalidations against one small cache,
+#               checking the pin ledger balances (duration from
+#               VERIFY_BATCHTIME, default 10s)
 #   fuzz        FuzzReader smoke over the shdf seed corpus (duration from
 #               VERIFY_FUZZTIME, default 10s)
 #
@@ -97,12 +101,13 @@ run_stage race-remote go test -race -count=1 ./internal/remote/...
 run_stage race-platform go test -race -count=1 ./internal/platform/...
 run_stage invariants go test -tags godivainvariants -race -count=1 ./internal/core/...
 run_stage push env PUSH_STRESS_TIME="${VERIFY_PUSHTIME:-10s}" go test -race -count=1 -run '^TestSubscriptionStress$' ./internal/push
+run_stage batch env BATCH_CHURN_TIME="${VERIFY_BATCHTIME:-10s}" go test -race -count=1 -run '^TestPayloadCacheChurn$' ./internal/remote
 run_stage fuzz go test -fuzz=FuzzReader -fuzztime="${VERIFY_FUZZTIME:-10s}" -run '^FuzzReader$' ./internal/shdf
 
 if [ -n "$only_stage" ]; then
     if [ "$stage_seen" -eq 0 ]; then
         echo "verify.sh: unknown stage \"$only_stage\"" >&2
-        echo "stages: fmt vet build lint test benchmem race-core race-remote race-platform invariants push fuzz" >&2
+        echo "stages: fmt vet build lint test benchmem race-core race-remote race-platform invariants push batch fuzz" >&2
         exit 2
     fi
     echo "verify.sh: stage $only_stage passed"
