@@ -3,6 +3,11 @@
 //
 //	go run ./cmd/godiva-lint ./...
 //	go run ./cmd/godiva-lint -tags godivainvariants ./internal/core
+//	go run ./cmd/godiva-lint -only releasecheck,borrowcheck,wirecheck ./...
+//
+// -only restricts a run to the named analyzers (the dataflow stage of
+// verify.sh uses it to gate on the flow-sensitive suite alone); -help
+// lists every selectable name.
 //
 // It prints findings as file:line:col: [analyzer] message and exits with
 // status 1 when there are findings, 2 on usage or load errors. With -json,
@@ -37,9 +42,10 @@ type jsonFinding struct {
 func main() {
 	tags := flag.String("tags", "", "comma-separated build tags to enable (as in go build -tags)")
 	jsonOut := flag.Bool("json", false, "emit one JSON finding per line (including suppressed findings, marked)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: the full suite)")
 	verbose := flag.Bool("v", false, "also print type-check diagnostics the analyzers tolerated")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: godiva-lint [-tags taglist] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: godiva-lint [-tags taglist] [-only analyzer,...] [packages]\n\nanalyzers (each selectable with -only):\n")
 		for _, d := range lint.AnalyzerDocs() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", d)
 		}
@@ -66,11 +72,15 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	run := lint.Run
-	if *jsonOut {
-		run = lint.RunAll
+	var onlyList []string
+	if *only != "" {
+		onlyList = strings.Split(*only, ",")
 	}
-	findings, err := run(m, patterns)
+	run := lint.RunOnly
+	if *jsonOut {
+		run = lint.RunAllOnly
+	}
+	findings, err := run(m, patterns, onlyList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "godiva-lint: %v\n", err)
 		os.Exit(2)

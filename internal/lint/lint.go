@@ -30,6 +30,21 @@
 //     allocation-free on their hot path (error-returning branches are
 //     exempt), transitively through module calls.
 //
+// Three further module analyzers are flow-sensitive: they run forward
+// abstract interpretation over per-function control-flow graphs (cfg.go,
+// dataflow.go) with per-function summaries iterated to fixpoint over the
+// call graph:
+//
+//   - releasecheck: every pin (WaitUnit/ReadUnit unit, readerCache or
+//     payloadCache acquire/insert, FetchFile payload ref) is released on
+//     every path to return — error returns included — or explicitly handed
+//     off; paircheck's flow-sensitive successor.
+//   - borrowcheck: zero-copy borrows (BorrowFieldBuffer results, mmap
+//     Raw/ReadSDS views, payload arena slices) are never written through,
+//     never stored past their pin, never used after release.
+//   - wirecheck: integer lengths decoded from wire bytes pass a bound
+//     check before sizing an allocation.
+//
 // Findings can be suppressed with a "//lint:ignore <analyzer> <reason>"
 // directive on the offending line or the line directly above it.
 package lint
@@ -124,6 +139,9 @@ var moduleAnalyzers = []*moduleAnalyzer{
 	deadlockcheckAnalyzer,
 	leakcheckAnalyzer,
 	alloccheckAnalyzer,
+	releasecheckAnalyzer,
+	borrowcheckAnalyzer,
+	wirecheckAnalyzer,
 }
 
 // moduleContext is the shared state handed to module analyzers: the loaded
@@ -133,6 +151,11 @@ type moduleContext struct {
 	Graph *callgraph.Graph
 	// CG maps each lint package to its call-graph counterpart.
 	CG map[*Package]*callgraph.Package
+
+	// cfgs memoizes per-body control-flow graphs for the flow-sensitive
+	// analyzers (see cfg.go), which re-visit every function once per
+	// summary-fixpoint pass.
+	cfgs map[*ast.BlockStmt]*funcCFG
 }
 
 // newModuleContext builds the call graph over the production (non-test)
@@ -162,6 +185,38 @@ func newModuleContext(pkgs []*Package) *moduleContext {
 	return mc
 }
 
+// AnalyzerNames returns every analyzer name, per-package then module, in
+// reporting order.
+func AnalyzerNames() []string {
+	var out []string
+	for _, a := range analyzers {
+		out = append(out, a.name)
+	}
+	for _, a := range moduleAnalyzers {
+		out = append(out, a.name)
+	}
+	return out
+}
+
+// checkOnly validates an analyzer selection against the registered suite.
+func checkOnly(only []string) (map[string]bool, error) {
+	if len(only) == 0 {
+		return nil, nil
+	}
+	known := make(map[string]bool)
+	for _, name := range AnalyzerNames() {
+		known[name] = true
+	}
+	sel := make(map[string]bool)
+	for _, name := range only {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(AnalyzerNames(), ", "))
+		}
+		sel[name] = true
+	}
+	return sel, nil
+}
+
 // AnalyzerDocs returns "name: doc" lines for -help output.
 func AnalyzerDocs() []string {
 	var out []string
@@ -180,7 +235,13 @@ func AnalyzerDocs() []string {
 // not stop it (mirroring go vet's behavior on broken trees they would fail
 // the build stage first anyway).
 func Run(m *Module, patterns []string) ([]Finding, error) {
-	all, err := RunAll(m, patterns)
+	return RunOnly(m, patterns, nil)
+}
+
+// RunOnly is Run restricted to the named analyzers (nil or empty runs the
+// full suite). Unknown names are rejected before any package is loaded.
+func RunOnly(m *Module, patterns, only []string) ([]Finding, error) {
+	all, err := RunAllOnly(m, patterns, only)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +252,17 @@ func Run(m *Module, patterns []string) ([]Finding, error) {
 // lint:ignore directive are returned with Suppressed set instead of being
 // dropped, so tooling (the CLI's -json mode) can surface them.
 func RunAll(m *Module, patterns []string) ([]Finding, error) {
+	return RunAllOnly(m, patterns, nil)
+}
+
+// RunAllOnly is RunAll restricted to the named analyzers (nil or empty runs
+// the full suite). Malformed lint:ignore directives are always reported —
+// they are defects of the suppression machinery, not of any one analyzer.
+func RunAllOnly(m *Module, patterns, only []string) ([]Finding, error) {
+	sel, err := checkOnly(only)
+	if err != nil {
+		return nil, err
+	}
 	dirs, err := m.ExpandPatterns(patterns)
 	if err != nil {
 		return nil, err
@@ -203,19 +275,20 @@ func RunAll(m *Module, patterns []string) ([]Finding, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	return runPackages(pkgs), nil
+	return runPackages(pkgs, sel), nil
 }
 
 // RunPackage applies the full suite (including the module analyzers, on a
 // single-package graph) to one loaded package, dropping findings suppressed
 // by lint:ignore directives. Malformed directives are themselves findings.
 func RunPackage(p *Package) []Finding {
-	return dropSuppressed(runPackages([]*Package{p}))
+	return dropSuppressed(runPackages([]*Package{p}, nil))
 }
 
 // runPackages runs the per-package and module analyzers over the given
-// packages and marks suppressed findings.
-func runPackages(pkgs []*Package) []Finding {
+// packages and marks suppressed findings. A non-nil sel restricts the run
+// to the selected analyzers.
+func runPackages(pkgs []*Package, sel map[string]bool) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
 		for _, f := range p.Files {
@@ -230,11 +303,17 @@ func runPackages(pkgs []*Package) []Finding {
 			}
 		}
 		for _, a := range analyzers {
+			if sel != nil && !sel[a.name] {
+				continue
+			}
 			out = append(out, a.run(p)...)
 		}
 	}
 	mc := newModuleContext(pkgs)
 	for _, a := range moduleAnalyzers {
+		if sel != nil && !sel[a.name] {
+			continue
+		}
 		out = append(out, a.run(mc)...)
 	}
 	files := make(map[string]*File)

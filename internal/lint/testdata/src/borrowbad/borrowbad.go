@@ -1,0 +1,129 @@
+// Package borrowbad seeds zero-copy borrow violations: writes through
+// borrowed memory, borrowed slices escaping their pin, and uses after the
+// owner released. The clean functions at the bottom exercise the allowed
+// idioms (read-release-return, copy-before-store, whole-payload hand-off).
+package borrowbad
+
+type FilePayload struct {
+	Path string
+	Data []byte
+}
+
+func (fp *FilePayload) Recycle() {}
+
+type Client struct{}
+
+func (c *Client) FetchFile(path string) (*FilePayload, error) { return nil, nil }
+
+type File struct{}
+
+func (f *File) Raw(ref int) ([]byte, error) { return nil, nil }
+func (f *File) Close() error                { return nil }
+
+var global []byte
+
+// writeThrough mutates mmap-backed bytes in place.
+func writeThrough(f *File) error {
+	raw, err := f.Raw(7)
+	if err != nil {
+		return err
+	}
+	raw[0] = 1 // want borrowcheck `write through borrowed mmap-backed Raw bytes`
+	defer f.Close()
+	return nil
+}
+
+// copyInto scribbles over the borrowed region with copy.
+func copyInto(f *File, src []byte) error {
+	raw, err := f.Raw(7)
+	if err != nil {
+		return err
+	}
+	copy(raw, src) // want borrowcheck `copy into borrowed mmap-backed Raw bytes`
+	defer f.Close()
+	return nil
+}
+
+// escapeToGlobal parks an arena slice in a package-level variable; the
+// bytes are recycled right after.
+func escapeToGlobal(c *Client, path string) error {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return err
+	}
+	global = fp.Data // want borrowcheck `borrowed payload arena memory escapes through a global`
+	fp.Recycle()
+	return nil
+}
+
+type holder struct{ data []byte }
+
+// escapeToField detaches the arena slice into a caller-owned struct: the
+// refcount does not travel with a bare slice.
+func escapeToField(h *holder, c *Client, path string) error {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return err
+	}
+	h.data = fp.Data // want borrowcheck `borrowed payload arena memory escapes through a struct field or global`
+	fp.Recycle()
+	return nil
+}
+
+// useAfterRecycle reads arena memory after dropping the ref.
+func useAfterRecycle(c *Client, path string) (int, error) {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return 0, err
+	}
+	fp.Recycle()
+	return len(fp.Data), nil // want borrowcheck `use of payload arena memory after Recycle released it`
+}
+
+// useAfterClose reads a mapped region after the file is gone.
+func useAfterClose(f *File) (byte, error) {
+	raw, err := f.Raw(3)
+	if err != nil {
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return raw[0], nil // want borrowcheck `use of mmap-backed Raw bytes after Close released it`
+}
+
+// cleanBorrow reads, releases, then stops: the contract in full.
+func cleanBorrow(c *Client, path string) (int, error) {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return 0, err
+	}
+	n := len(fp.Data)
+	fp.Recycle()
+	return n, nil
+}
+
+// cleanCopy copies the borrowed view before it outlives the pin.
+func cleanCopy(h *holder, c *Client, path string) error {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return err
+	}
+	out := make([]byte, len(fp.Data))
+	copy(out, fp.Data)
+	h.data = out
+	fp.Recycle()
+	return nil
+}
+
+// cleanHandOff stores the whole payload: the refcount travels with it.
+func cleanHandOff(h *payloadHolder, c *Client, path string) error {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return err
+	}
+	h.fp = fp
+	return nil
+}
+
+type payloadHolder struct{ fp *FilePayload }

@@ -4,6 +4,7 @@
 package clean
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -42,11 +43,10 @@ func step(db *core.DB, unit string) error {
 		return err
 	}
 	buf, err := db.GetFieldBuffer("particles", "position")
-	if err != nil {
-		return err
+	if err == nil {
+		use(buf)
 	}
-	use(buf)
-	return db.FinishUnit(unit)
+	return errors.Join(err, db.FinishUnit(unit))
 }
 
 func shutdown(db *core.DB) {

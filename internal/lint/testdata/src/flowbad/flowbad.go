@@ -1,0 +1,108 @@
+// Package flowbad seeds flow-sensitive pin leaks the syntactic paircheck
+// cannot see: every offending function contains a release call, just not
+// on every path to return. releasecheck must flag the leaking paths; the
+// balanced functions at the bottom (deferred release, interprocedural
+// hand-off) must stay clean.
+package flowbad
+
+import "godiva/internal/core"
+
+// earlyReturnLeak releases the unit on the happy path only: the probe's
+// error return leaks the pin. paircheck sees the FinishUnit and stays
+// quiet.
+func earlyReturnLeak(db *core.DB, unit string) error {
+	if err := db.WaitUnit(unit); err != nil { // want releasecheck `unit unit acquired with WaitUnit leaks on the return at line 18`
+		return err
+	}
+	if _, err := db.GetFieldBufferSize("particles", "position"); err != nil {
+		return err
+	}
+	return db.FinishUnit(unit)
+}
+
+type payloadEntry struct{}
+
+type payloadCache struct{}
+
+func (c *payloadCache) acquire(key string) *payloadEntry { return nil }
+func (c *payloadCache) release(e *payloadEntry)          {}
+
+// branchLeak releases the pinned entry on one branch only; falling off
+// the end with fast unset leaks it. The nil check is not a leak: a cache
+// miss pins nothing.
+func branchLeak(c *payloadCache, fast bool) {
+	e := c.acquire("snap.shdf") // want releasecheck `pinned payload acquired with acquire leaks on the end of the function`
+	if e == nil {
+		return
+	}
+	if fast {
+		c.release(e)
+	}
+}
+
+type FilePayload struct{ Data []byte }
+
+func (fp *FilePayload) Recycle() {}
+
+type Client struct{}
+
+func (c *Client) FetchFile(path string) (*FilePayload, error) { return nil, nil }
+
+// fetchLeak recycles large payloads only: the small-payload return leaks
+// the arena ref.
+func fetchLeak(c *Client, path string) (int, error) {
+	fp, err := c.FetchFile(path) // want releasecheck `fetched payload acquired with FetchFile leaks on the return at line 62`
+	if err != nil {
+		return 0, err
+	}
+	n := len(fp.Data)
+	if n > 1024 {
+		fp.Recycle()
+	}
+	return n, nil
+}
+
+// consume always recycles its payload, so releasecheck's summary pass
+// learns it releases parameter 0 on every path.
+func consume(fp *FilePayload) int {
+	n := len(fp.Data)
+	fp.Recycle()
+	return n
+}
+
+// handOff is clean: every path ends in a Recycle or a releasing callee.
+func handOff(c *Client, path string) (int, error) {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(fp.Data) == 0 {
+		fp.Recycle()
+		return 0, nil
+	}
+	return consume(fp), nil
+}
+
+// deferredRelease is clean: the deferred Recycle runs at every exit.
+func deferredRelease(c *Client, path string) (int, error) {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return 0, err
+	}
+	defer fp.Recycle()
+	if len(fp.Data) == 0 {
+		return 0, nil
+	}
+	return len(fp.Data), nil
+}
+
+// drainAll is clean: the range body recycles every element, which also
+// covers the zero-iteration path.
+func drainAll(fps []*FilePayload) int {
+	total := 0
+	for _, fp := range fps {
+		total += len(fp.Data)
+		fp.Recycle()
+	}
+	return total
+}

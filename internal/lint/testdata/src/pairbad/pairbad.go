@@ -3,19 +3,23 @@
 // Every offending line carries a // want comment consumed by lint_test.go.
 package pairbad
 
-import "godiva/internal/core"
+import (
+	"errors"
+
+	"godiva/internal/core"
+)
 
 func sink(any) {}
 
 func leakUnit(db *core.DB) error {
-	if err := db.WaitUnit("step-1"); err != nil { // want paircheck `unit acquired with WaitUnit but no matching FinishUnit/DeleteUnit/Close in leakUnit`
+	if err := db.WaitUnit("step-1"); err != nil { // want paircheck `unit acquired with WaitUnit but no matching FinishUnit/DeleteUnit/Close in leakUnit` // want releasecheck `unit "step-1" acquired with WaitUnit leaks on the return at line 18`
 		return err
 	}
 	return nil
 }
 
 func mismatchedName(db *core.DB) error {
-	if err := db.ReadUnit("a", nil); err != nil { // want paircheck `unit acquired with ReadUnit but no matching FinishUnit/DeleteUnit/Close in mismatchedName`
+	if err := db.ReadUnit("a", nil); err != nil { // want paircheck `unit acquired with ReadUnit but no matching FinishUnit/DeleteUnit/Close in mismatchedName` // want releasecheck `unit "a" acquired with ReadUnit leaks on the return at line 25`
 		return err
 	}
 	return db.FinishUnit("b")
@@ -27,7 +31,7 @@ func retainBuffer(db *core.DB) error {
 	}
 	buf, err := db.GetFieldBuffer("particles", "position")
 	if err != nil {
-		return err
+		return errors.Join(err, db.FinishUnit("u"))
 	}
 	if err := db.FinishUnit("u"); err != nil {
 		return err
@@ -43,7 +47,7 @@ func (c *readerCache) release(name string)       {}
 func (c *readerCache) closeAll()                 {}
 
 func leakReader(c *readerCache) error {
-	return c.acquire("remote.dat") // want paircheck `cached reader acquired with acquire but no matching release/closeAll in leakReader`
+	return c.acquire("remote.dat") // want paircheck `cached reader acquired with acquire but no matching release/closeAll in leakReader` // want releasecheck `cached reader acquired with acquire leaks on the return at line 50`
 }
 
 func balancedReader(c *readerCache) error {
@@ -88,9 +92,8 @@ func balancedUnit(db *core.DB, unit string) error {
 		return err
 	}
 	buf, err := db.GetFieldBuffer("particles", "position")
-	if err != nil {
-		return err
+	if err == nil {
+		sink(buf)
 	}
-	sink(buf)
-	return db.FinishUnit(unit)
+	return errors.Join(err, db.FinishUnit(unit))
 }

@@ -1,0 +1,59 @@
+// Package wirebad seeds wire-taint violations: integer lengths decoded
+// from raw frame bytes sizing allocations with no dominating bound check.
+// The bounded decoders at the bottom must stay clean — wirecheck demands
+// that a bound was consulted, wherever it lives.
+package wirebad
+
+import "encoding/binary"
+
+const maxFrame = 1 << 20
+
+// decodeDirect sizes the allocation straight off the wire: a corrupt
+// frame requests gigabytes.
+func decodeDirect(b []byte) []float64 {
+	n := int(binary.LittleEndian.Uint32(b))
+	return make([]float64, n) // want wirecheck `make sized by wire-tainted length n`
+}
+
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+// decodeViaHelper gets its length through a helper: the returns-tainted
+// summary carries the taint across the call.
+func decodeViaHelper(d *dec) []int32 {
+	n := int(d.u32())
+	return make([]int32, n) // want wirecheck `make sized by wire-tainted length n`
+}
+
+// count is internally bounded against the remaining bytes: callers get a
+// clean length.
+func (d *dec) count(elem int) int {
+	n := int(d.u32())
+	if n > (len(d.b)-d.off)/elem {
+		return 0
+	}
+	return n
+}
+
+// decodeBounded is clean: the helper bounded the count.
+func decodeBounded(d *dec) []int64 {
+	n := d.count(8)
+	return make([]int64, n)
+}
+
+// decodeChecked is clean: the bound check dominates the allocation.
+func decodeChecked(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}

@@ -54,6 +54,12 @@ func encodeBatchReq(items []*batchItem) []byte {
 func decodeBatchReq(body []byte) ([]fetchReq, error) {
 	d := dec{b: body}
 	n := int(d.u16())
+	// Every item costs at least 4 body bytes (path length prefix plus
+	// variable count), so a count beyond that is a corrupt or hostile
+	// frame; reject it before it sizes the allocation below.
+	if n > (len(body)-2)/4 {
+		return nil, fmt.Errorf("%w: batch count %d exceeds frame", ErrProtocol, n)
+	}
 	reqs := make([]fetchReq, 0, n)
 	for i := 0; i < n && d.err == nil; i++ {
 		var r fetchReq

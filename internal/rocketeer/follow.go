@@ -200,10 +200,18 @@ func Follow(cfg FollowConfig) (*FollowResult, error) {
 // renderFollowStep waits for a completed step's units and runs the
 // visualization passes over them, then drops the units.
 func renderFollowStep(db *core.DB, cfg FollowConfig, step int, st *followStep, maxBlocks *int) (int, error) {
+	var waited []string
 	for f := range st.files {
-		if err := db.WaitUnit(fileUnitName(step, f)); err != nil {
+		u := fileUnitName(step, f)
+		if err := db.WaitUnit(u); err != nil {
+			// Drop the units already acquired: a partial wait must not
+			// leave pins behind when the step is abandoned.
+			for _, u := range waited {
+				err = errors.Join(err, db.DeleteUnit(u))
+			}
 			return 0, err
 		}
+		waited = append(waited, u)
 	}
 	// Block names: probe upward from the largest count seen so far (blocks
 	// are dense, IDs start at 0; a size query for a missing block is cheap).
@@ -227,7 +235,11 @@ func renderFollowStep(db *core.DB, cfg FollowConfig, step int, st *followStep, m
 	}
 	p := rcfg.newPipeline(nil, fmt.Sprintf("t%04d", step))
 	if err := p.run(src); err != nil {
-		return 0, fmt.Errorf("step %d: %w", step, err)
+		err = fmt.Errorf("step %d: %w", step, err)
+		for f := range st.files {
+			err = errors.Join(err, db.DeleteUnit(fileUnitName(step, f)))
+		}
+		return 0, err
 	}
 	for f := range st.files {
 		if err := db.DeleteUnit(fileUnitName(step, f)); err != nil {

@@ -1,6 +1,7 @@
 package rocketeer
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -158,7 +159,9 @@ func (s *Session) View(step int, feature, variable string, param float64) (*View
 	s.views++
 	src := &gSource{db: s.db, names: s.names, stepID: s.cfg.Spec.StepID(step)}
 	if err := p.run(src); err != nil {
-		return nil, err
+		// The unit stays resident for revisits, but this view's pin must
+		// not outlive the failed render.
+		return nil, errors.Join(err, s.db.FinishUnit(name))
 	}
 	// Finished, not deleted: the user may revisit (paper §3.2).
 	if err := s.db.FinishUnit(name); err != nil {

@@ -6,8 +6,12 @@
 #   vet         go vet over the whole module
 #   build       everything compiles
 #   lint        godiva-lint (lockcheck/paircheck/errcheck/atomiccheck plus
-#               the interprocedural deadlockcheck/leakcheck/alloccheck)
+#               the interprocedural deadlockcheck/leakcheck/alloccheck and
+#               the flow-sensitive releasecheck/borrowcheck/wirecheck)
 #               reports zero findings; non-zero findings fail the gate
+#   dataflow    the flow-sensitive analyzers alone, in -json mode; the
+#               machine-readable findings land in lint-dataflow.json (CI
+#               uploads it as an artifact) and any finding fails the gate
 #   test        full test suite, caching disabled (-count=1) so the noalloc
 #               AllocsPerRun gates re-measure on every run
 #   benchmem    core query benchmarks under -benchmem; any benchmark
@@ -90,10 +94,21 @@ check_benchmem() {
     fi
 }
 
+check_dataflow() {
+    # -json exits 1 on live findings and still writes them to the file, so a
+    # red gate leaves the evidence behind for the CI artifact upload.
+    go run ./cmd/godiva-lint -json -only releasecheck,borrowcheck,wirecheck \
+        -tags godivainvariants ./... >lint-dataflow.json
+    rc=$?
+    echo "dataflow: $(wc -l <lint-dataflow.json) finding(s) in lint-dataflow.json"
+    return "$rc"
+}
+
 run_stage fmt check_gofmt
 run_stage vet go vet ./...
 run_stage build go build ./...
 run_stage lint go run ./cmd/godiva-lint -tags godivainvariants ./...
+run_stage dataflow check_dataflow
 run_stage test go test -count=1 ./...
 run_stage benchmem check_benchmem
 run_stage race-core go test -race -count=1 ./internal/core/...
@@ -107,7 +122,7 @@ run_stage fuzz go test -fuzz=FuzzReader -fuzztime="${VERIFY_FUZZTIME:-10s}" -run
 if [ -n "$only_stage" ]; then
     if [ "$stage_seen" -eq 0 ]; then
         echo "verify.sh: unknown stage \"$only_stage\"" >&2
-        echo "stages: fmt vet build lint test benchmem race-core race-remote race-platform invariants push batch fuzz" >&2
+        echo "stages: fmt vet build lint dataflow test benchmem race-core race-remote race-platform invariants push batch fuzz" >&2
         exit 2
     fi
     echo "verify.sh: stage $only_stage passed"
