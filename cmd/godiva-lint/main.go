@@ -14,7 +14,9 @@
 // each finding is emitted as one JSON object per line (analyzer, file,
 // line, col, message, suppressed) for CI and editor consumption —
 // suppressed findings are included there, marked, and do not affect the
-// exit code. Findings can be suppressed with a //lint:ignore <analyzer>
+// exit code. With -sarif, the findings are rendered as one SARIF 2.1.0 log
+// for code-scanning upload (suppressed findings carry an inSource
+// suppression). Findings can be suppressed with a //lint:ignore <analyzer>
 // <reason> directive on or directly above the offending line.
 package main
 
@@ -42,6 +44,7 @@ type jsonFinding struct {
 func main() {
 	tags := flag.String("tags", "", "comma-separated build tags to enable (as in go build -tags)")
 	jsonOut := flag.Bool("json", false, "emit one JSON finding per line (including suppressed findings, marked)")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log (including suppressed findings, marked with an inSource suppression)")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: the full suite)")
 	verbose := flag.Bool("v", false, "also print type-check diagnostics the analyzers tolerated")
 	flag.Usage = func() {
@@ -77,7 +80,7 @@ func main() {
 		onlyList = strings.Split(*only, ",")
 	}
 	run := lint.RunOnly
-	if *jsonOut {
+	if *jsonOut || *sarifOut {
 		run = lint.RunAllOnly
 	}
 	findings, err := run(m, patterns, onlyList)
@@ -97,11 +100,24 @@ func main() {
 		}
 	}
 	live := 0
-	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		if !f.Suppressed {
 			live++
 		}
+	}
+	if *sarifOut {
+		if err := writeSARIF(os.Stdout, root, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "godiva-lint: %v\n", err)
+			os.Exit(2)
+		}
+		if live > 0 {
+			fmt.Fprintf(os.Stderr, "godiva-lint: %d finding(s)\n", live)
+			os.Exit(1)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
 		if *jsonOut {
 			rel := relpath(root, f.Pos.Filename)
 			enc.Encode(jsonFinding{

@@ -1,0 +1,123 @@
+package main
+
+// sarif.go renders findings as a SARIF 2.1.0 log (-sarif), the static
+// analysis interchange format code-scanning services ingest. One run, one
+// driver; each analyzer that produced a finding becomes a rule, suppressed
+// findings carry an inSource suppression object so they upload without
+// counting against the scan.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"godiva/internal/lint"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// writeSARIF renders the findings (suppressed included, marked) as one
+// SARIF log on w. Paths are module-relative.
+func writeSARIF(w io.Writer, root string, findings []lint.Finding) error {
+	docs := lint.AnalyzerDescriptions()
+	used := make(map[string]bool)
+	var results []sarifResult
+	for _, f := range findings {
+		used[f.Analyzer] = true
+		res := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relpath(root, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		}
+		if f.Suppressed {
+			res.Suppressions = []sarifSuppression{{Kind: "inSource"}}
+		}
+		results = append(results, res)
+	}
+	names := make([]string, 0, len(used))
+	for name := range used {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rules := make([]sarifRule, 0, len(names))
+	for _, name := range names {
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: docs[name]}})
+	}
+	if results == nil {
+		results = []sarifResult{}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "godiva-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,1138 @@
+package callgraph
+
+// contexts.go extends the call graph with goroutine contexts for the race
+// analysis (internal/lint racecheck). A context is one concurrent execution
+// root: the program's main goroutine, one `go` statement, or one callback
+// seam (a function value stored for later invocation — conn handlers,
+// OnRelease hooks, push delivery callbacks). Every analyzable unit —
+// declared function or function literal — is tagged with the set of
+// contexts that can reach it, propagated along static and CHA call edges
+// and into deferred/immediately-invoked literals (which run on the
+// caller's goroutine).
+//
+// Function-valued arguments are tracked per parameter slot, transitively:
+// a parameter a callee only ever invokes — directly, or by forwarding to
+// another callee whose matching slot is itself invoke-only — runs
+// synchronously during the call, so the argument inherits the caller's
+// contexts. A parameter that is stored, launched with `go`, or passed to
+// an async/unresolvable callee roots a callback context (it will run at
+// an unknown time on an unknown goroutine).
+//
+// A context is Multi when more than one instance of it can run at once:
+// its `go` statement sits inside a loop, or the spawning code itself runs
+// in more than one context (an accept loop spawning one handler per
+// connection makes the handler context Multi even though the statement
+// appears once).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Context is one concurrent execution root.
+type Context struct {
+	ID    int
+	Desc  string // "main", "go file.go:12", "callback file.go:30"
+	Pos   token.Pos
+	Multi bool // more than one instance can run concurrently
+
+	// Assumed marks the hypothetical public-API entry context: exported
+	// functions with no module-internal caller are kept reachable through
+	// it so their code is still analyzed, but no in-module evidence of such
+	// an entry exists — clients treat assumed-context reachability as
+	// weaker than real (main/go/callback) reachability.
+	Assumed bool
+}
+
+// LitRole classifies how a function literal is used.
+type LitRole int
+
+const (
+	// LitInherit runs on the creating goroutine: deferred, immediately
+	// invoked, or passed to a callee that calls it synchronously.
+	LitInherit LitRole = iota
+	// LitGo is the body of a `go` statement: it roots its own context.
+	LitGo
+	// LitCallback is stored as a value for later invocation on an unknown
+	// goroutine: it roots its own context.
+	LitCallback
+)
+
+// Unit is one analyzable body: a declared function or a function literal.
+type Unit struct {
+	ID   string       // Func key, or "lit@file:line:col" for literals
+	Fn   *Func        // non-nil for declared functions
+	Lit  *ast.FuncLit // non-nil for literals
+	Pkg  *Package     // owning package (for Info)
+	Body *ast.BlockStmt
+
+	// Encl is the unit lexically enclosing a literal (nil for decls).
+	Encl *Unit
+}
+
+// ContextMap tags every unit of the module with the contexts reaching it.
+type ContextMap struct {
+	Contexts []*Context // by ID; Contexts[0] is the main context
+
+	units     []*Unit
+	unitByKey map[string]*Unit
+	unitByLit map[*ast.FuncLit]*Unit
+	roles     map[*ast.FuncLit]LitRole
+	ctxs      map[string][]int // unit ID -> sorted context IDs reaching it
+	rootIDs   map[string][]int // unit ID -> context IDs rooted at it
+}
+
+// IsRoot reports whether any context is rooted at u: the unit is entered
+// directly by a goroutine spawn, a callback invocation, or (for the main
+// context) an exported entry point. Root units are entered with no locks
+// inherited from a caller.
+func (cm *ContextMap) IsRoot(u *Unit) bool { return len(cm.rootIDs[u.ID]) > 0 }
+
+// MainRooted reports whether the main context enters u directly (exported
+// API, main, init): callers outside the module are invisible, so entry
+// facts accumulated from recorded call sites cannot be trusted for it.
+func (cm *ContextMap) MainRooted(u *Unit) bool {
+	for _, id := range cm.rootIDs[u.ID] {
+		if id == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RootContexts returns the contexts rooted at u, in ID order.
+func (cm *ContextMap) RootContexts(u *Unit) []*Context {
+	ids := append([]int(nil), cm.rootIDs[u.ID]...)
+	sort.Ints(ids)
+	out := make([]*Context, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, cm.Contexts[id])
+	}
+	return out
+}
+
+// Units returns every unit in deterministic order: declared functions by
+// key, each followed by its literals in position order.
+func (cm *ContextMap) Units() []*Unit { return cm.units }
+
+// UnitByKey returns the unit of a declared function, or nil.
+func (cm *ContextMap) UnitByKey(key string) *Unit { return cm.unitByKey[key] }
+
+// UnitForLit returns the unit of a function literal, or nil.
+func (cm *ContextMap) UnitForLit(lit *ast.FuncLit) *Unit { return cm.unitByLit[lit] }
+
+// Role reports how a literal is used (LitInherit when unknown).
+func (cm *ContextMap) Role(lit *ast.FuncLit) LitRole { return cm.roles[lit] }
+
+// Of returns the contexts reaching a unit, in ID order. An empty result
+// means the unit is unreachable from any root (dead code).
+func (cm *ContextMap) Of(u *Unit) []*Context {
+	ids := cm.ctxs[u.ID]
+	out := make([]*Context, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, cm.Contexts[id])
+	}
+	return out
+}
+
+// AssumedOnly reports whether every context reaching u is the assumed
+// public-API entry: the unit's code is live only under the uncalled-
+// exported assumption, so nothing observed inside it is evidence of a
+// concrete execution.
+func (cm *ContextMap) AssumedOnly(u *Unit) bool {
+	ids := cm.ctxs[u.ID]
+	if len(ids) == 0 {
+		return false
+	}
+	for _, id := range ids {
+		if !cm.Contexts[id].Assumed {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether a literal can run concurrently with its
+// enclosing unit: it roots its own go/callback context, or it inherits a
+// context its encloser does not run in (a worker-pool helper invoked it
+// from a spawned goroutine).
+func (cm *ContextMap) Concurrent(lit *ast.FuncLit) bool {
+	switch cm.roles[lit] {
+	case LitGo, LitCallback:
+		return true
+	}
+	lu := cm.unitByLit[lit]
+	if lu == nil || lu.Encl == nil {
+		return false
+	}
+	encl := make(map[int]bool)
+	for _, id := range cm.ctxs[lu.Encl.ID] {
+		encl[id] = true
+	}
+	for _, id := range cm.ctxs[lu.ID] {
+		if !encl[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// paramFate says how a callee treats one function-valued parameter.
+type paramFate int
+
+const (
+	// fateSync parameters are only ever invoked synchronously during the
+	// call (directly, or by forwarding to another sync-only callee).
+	fateSync paramFate = iota
+	// fateStored parameters are stored, spawned, or escape analysis: the
+	// value may run at an unknown time on an unknown goroutine.
+	fateStored
+)
+
+// ctxBuilder accumulates the context analysis.
+type ctxBuilder struct {
+	g    *Graph
+	fset *token.FileSet
+	cm   *ContextMap
+
+	// roots maps unit ID -> context IDs rooted at it.
+	roots map[string][]int
+	// edges maps unit ID -> callee/inherit-lit unit IDs (context flow).
+	edges map[string][]string
+	// spawner maps a context ID to the unit that spawns/registers it, and
+	// loopSpawn marks contexts whose root statement sits inside a loop.
+	spawner   map[int]string
+	loopSpawn map[int]bool
+
+	// fates memoizes per-parameter fates by unit ID (func key or lit ID).
+	fates map[string][]paramFate
+	// varTargets maps call-only local func variables to their value sets.
+	varTargets map[types.Object]*localFuncTargets
+	// modPaths is the set of module package paths (for composite-literal
+	// classification: module struct vs external library config).
+	modPaths map[string]bool
+}
+
+// localFuncTargets is the resolved value set of a call-only local func
+// variable: the literals and declared-function keys assigned to it.
+type localFuncTargets struct {
+	lits []*ast.FuncLit
+	keys []string
+	rhs  []ast.Expr
+}
+
+// BuildContexts computes the goroutine-context map for the graph.
+func (g *Graph) BuildContexts(fset *token.FileSet) *ContextMap {
+	cm := &ContextMap{
+		unitByKey: make(map[string]*Unit),
+		unitByLit: make(map[*ast.FuncLit]*Unit),
+		roles:     make(map[*ast.FuncLit]LitRole),
+		ctxs:      make(map[string][]int),
+	}
+	b := &ctxBuilder{
+		g:          g,
+		fset:       fset,
+		cm:         cm,
+		roots:      make(map[string][]int),
+		edges:      make(map[string][]string),
+		spawner:    make(map[int]string),
+		loopSpawn:  make(map[int]bool),
+		fates:      make(map[string][]paramFate),
+		varTargets: make(map[types.Object]*localFuncTargets),
+		modPaths:   make(map[string]bool),
+	}
+	main := &Context{ID: 0, Desc: "main"}
+	cm.Contexts = append(cm.Contexts, main)
+
+	keys := make([]string, 0, len(g.Funcs))
+	for k := range g.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn := g.Funcs[k]
+		u := &Unit{ID: fn.Key, Fn: fn, Pkg: fn.Pkg, Body: fn.Decl.Body}
+		cm.units = append(cm.units, u)
+		cm.unitByKey[u.ID] = u
+		b.modPaths[fn.Pkg.PkgPath] = true
+		b.collectLits(u)
+	}
+	for _, k := range keys {
+		b.scanUnit(cm.unitByKey[k])
+	}
+	// The main context enters through main and init functions, and through
+	// exported functions with no module-internal caller (a public API seam;
+	// exported functions the module itself calls are assumed entered only
+	// through those recorded call sites, which keeps their callers' entry
+	// locksets meaningful).
+	called := make(map[string]bool)
+	for _, tos := range b.edges {
+		for _, to := range tos {
+			called[to] = true
+		}
+	}
+	var apiCtx *Context
+	for _, k := range keys {
+		fn := g.Funcs[k]
+		name := fn.Decl.Name.Name
+		if name == "main" || name == "init" {
+			b.addRoot(k, 0)
+			continue
+		}
+		if fn.Decl.Name.IsExported() && !called[k] && len(b.roots[k]) == 0 {
+			// An uncalled exported function: reachable only through the
+			// assumed public-API entry, which carries no in-module evidence.
+			if apiCtx == nil {
+				apiCtx = &Context{
+					ID:      len(cm.Contexts),
+					Desc:    "assumed api entry",
+					Assumed: true,
+				}
+				cm.Contexts = append(cm.Contexts, apiCtx)
+			}
+			b.addRoot(k, apiCtx.ID)
+		}
+	}
+	b.propagate()
+	b.multiplicity()
+	b.propagateAssumed()
+	cm.rootIDs = b.roots
+	return cm
+}
+
+// propagateAssumed marks contexts spawned by assumed-only units as assumed
+// themselves: a go statement inside an uncalled exported function only runs
+// if that hypothetical API entry does.
+func (b *ctxBuilder) propagateAssumed() {
+	changed := true
+	for rounds := 0; changed && rounds < len(b.cm.Contexts)+2; rounds++ {
+		changed = false
+		for _, c := range b.cm.Contexts[1:] {
+			if c.Assumed {
+				continue
+			}
+			sp := b.spawner[c.ID]
+			if sp == "" {
+				continue
+			}
+			ids := b.cm.ctxs[sp]
+			if len(ids) == 0 {
+				continue
+			}
+			all := true
+			for _, id := range ids {
+				if !b.cm.Contexts[id].Assumed {
+					all = false
+					break
+				}
+			}
+			if all {
+				c.Assumed = true
+				changed = true
+			}
+		}
+	}
+}
+
+// collectLits registers a unit for every literal inside a declared
+// function, nested ones included, in position order.
+func (b *ctxBuilder) collectLits(u *Unit) {
+	var walk func(parent *Unit, body *ast.BlockStmt)
+	walk = func(parent *Unit, body *ast.BlockStmt) {
+		for _, lit := range directLits(body) {
+			lu := &Unit{
+				ID:   "lit@" + b.posString(lit.Pos()),
+				Lit:  lit,
+				Pkg:  u.Pkg,
+				Body: lit.Body,
+				Encl: parent,
+			}
+			b.cm.units = append(b.cm.units, lu)
+			b.cm.unitByLit[lit] = lu
+			walk(lu, lit.Body)
+		}
+	}
+	walk(u, u.Body)
+}
+
+func (b *ctxBuilder) posString(pos token.Pos) string {
+	p := b.fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+func (b *ctxBuilder) shortPos(pos token.Pos) string {
+	p := b.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func (b *ctxBuilder) addRoot(unitID string, ctxID int) {
+	for _, id := range b.roots[unitID] {
+		if id == ctxID {
+			return
+		}
+	}
+	b.roots[unitID] = append(b.roots[unitID], ctxID)
+}
+
+func (b *ctxBuilder) addEdge(from, to string) {
+	if from == to {
+		return
+	}
+	for _, t := range b.edges[from] {
+		if t == to {
+			return
+		}
+	}
+	b.edges[from] = append(b.edges[from], to)
+}
+
+// newContext mints a context rooted at pos, spawned/registered by unit.
+func (b *ctxBuilder) newContext(kind string, pos token.Pos, unit string, inLoop bool) *Context {
+	c := &Context{
+		ID:   len(b.cm.Contexts),
+		Desc: kind + " " + b.shortPos(pos),
+		Pos:  pos,
+	}
+	b.cm.Contexts = append(b.cm.Contexts, c)
+	b.spawner[c.ID] = unit
+	b.loopSpawn[c.ID] = inLoop
+	return c
+}
+
+// asyncCallee reports whether an external callee may stash or concurrently
+// invoke function-valued arguments (the argument roots a callback
+// context). Everything else external — sort.Slice, ast.Inspect,
+// filepath.WalkDir, sync.Once.Do, ... — invokes its argument synchronously
+// on the calling goroutine, so the default is to inherit the caller's
+// contexts.
+func asyncCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return true
+	}
+	switch pkg.Path() {
+	case "net/http", "net/rpc", "os/signal", "time", "runtime", "testing":
+		return true
+	}
+	return false
+}
+
+// localCallOnly resolves the `walk := func(...)` idiom: function values
+// assigned to local variables whose every other use is a direct call run
+// synchronously on the calling goroutine, not as stored callbacks. It
+// returns, for each such literal, the units whose bodies call it (context
+// edges), and the set of value-position expressions to leave alone (their
+// named-function targets get the same edges directly).
+func (b *ctxBuilder) localCallOnly(u *Unit) (lits map[*ast.FuncLit][]string, inert map[ast.Expr]bool) {
+	info := u.Pkg.Info
+	cand := make(map[types.Object]*localFuncTargets)
+	bad := make(map[types.Object]bool)
+	defIdents := make(map[*ast.Ident]bool)
+	note := func(lhs *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[lhs]
+		if obj == nil {
+			obj = info.Uses[lhs]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return
+		}
+		if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+			return
+		}
+		rhs = ast.Unparen(rhs)
+		t := cand[v]
+		if t == nil {
+			t = &localFuncTargets{}
+			cand[v] = t
+		}
+		if lit, ok := rhs.(*ast.FuncLit); ok {
+			t.lits = append(t.lits, lit)
+			defIdents[lhs] = true
+			return
+		}
+		if key, ok := b.funcValue(info, rhs); ok {
+			t.keys = append(t.keys, key)
+			t.rhs = append(t.rhs, rhs)
+			defIdents[lhs] = true
+			return
+		}
+		bad[v] = true // assigned something we cannot resolve
+	}
+	ast.Inspect(u.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != len(n.Lhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					note(id, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) != len(n.Names) {
+				return true
+			}
+			for i, name := range n.Names {
+				note(name, n.Values[i])
+			}
+		}
+		return true
+	})
+	if len(cand) == 0 {
+		return nil, nil
+	}
+	// Attribute call-position and argument-position identifiers to their
+	// innermost unit, then classify every remaining use. A `go f()` of the
+	// variable is not a synchronous call, so its Fun is left unattributed.
+	callFuns := make(map[*ast.Ident]string)
+	type argSite struct {
+		call   *ast.CallExpr
+		idx    int
+		unitID string
+	}
+	argUses := make(map[*ast.Ident]argSite)
+	goCalls := make(map[*ast.CallExpr]bool)
+	var attribute func(n ast.Node, curID string)
+	attribute = func(n ast.Node, curID string) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c := c.(type) {
+			case *ast.GoStmt:
+				goCalls[c.Call] = true
+			case *ast.FuncLit:
+				id := curID
+				if lu := b.cm.unitByLit[c]; lu != nil {
+					id = lu.ID
+				}
+				attribute(c.Body, id)
+				return false
+			case *ast.CallExpr:
+				if goCalls[c] {
+					return true
+				}
+				if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+					callFuns[id] = curID
+				}
+				for i, a := range c.Args {
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+						argUses[id] = argSite{call: c, idx: i, unitID: curID}
+					}
+				}
+			}
+			return true
+		})
+	}
+	attribute(u.Body, u.ID)
+	callers := make(map[types.Object][]string)
+	ast.Inspect(u.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || defIdents[id] {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || cand[v] == nil {
+			return true
+		}
+		if unitID, isCall := callFuns[id]; isCall {
+			callers[v] = append(callers[v], unitID)
+		} else if site, isArg := argUses[id]; isArg && b.argSync(info, site.call, site.idx) {
+			// Handed to a callee that only invokes it during the call: it
+			// still runs synchronously within the passing unit.
+			callers[v] = append(callers[v], site.unitID)
+		} else {
+			bad[v] = true
+		}
+		return true
+	})
+	lits = make(map[*ast.FuncLit][]string)
+	inert = make(map[ast.Expr]bool)
+	for v, t := range cand {
+		if bad[v] {
+			continue
+		}
+		b.varTargets[v] = t
+		for _, lit := range t.lits {
+			lits[lit] = append(lits[lit], callers[v]...)
+		}
+		for i, key := range t.keys {
+			inert[t.rhs[i]] = true
+			for _, from := range callers[v] {
+				b.addEdge(from, key)
+			}
+		}
+	}
+	return lits, inert
+}
+
+// localVarTargets resolves a call through a call-only local func variable
+// to the literals and function keys the variable can hold.
+func (b *ctxBuilder) localVarTargets(info *types.Info, call *ast.CallExpr) (tlits []*ast.FuncLit, keys []string, ok bool) {
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return nil, nil, false
+	}
+	v, isVar := info.Uses[id].(*types.Var)
+	if !isVar {
+		return nil, nil, false
+	}
+	t, found := b.varTargets[v]
+	if !found {
+		return nil, nil, false
+	}
+	return t.lits, t.keys, true
+}
+
+// scanUnit walks one unit's body and those of its nested literals,
+// recording context roots, literal roles, and context-flow edges. Each
+// node is attributed to the innermost enclosing unit.
+func (b *ctxBuilder) scanUnit(u *Unit) {
+	info := u.Pkg.Info
+	localLits, inertExprs := b.localCallOnly(u)
+	var walk func(n ast.Node, cur *Unit, loopDepth int)
+
+	// funcArg wires a function-valued argument (literal unit or declared
+	// function key) according to how the callee treats that parameter
+	// slot: invoked-only arguments run synchronously during the call and
+	// inherit the caller's contexts; anything stored roots a callback.
+	funcArg := func(call *ast.CallExpr, res Resolution, argIdx int, argID string, lit *ast.FuncLit, cur *Unit, pos token.Pos, loopDepth int) {
+		sync := b.resArgSync(info, res, argIdx)
+		if !sync && call != nil {
+			// A call through a call-only local func variable: sync if every
+			// value it can hold treats the slot as sync.
+			if lits, keys, ok := b.localVarTargets(info, call); ok {
+				sync = true
+				for _, tl := range lits {
+					if lu := b.cm.unitByLit[tl]; lu == nil || fateAt(b.litFates(lu), argIdx, tl.Type) != fateSync {
+						sync = false
+						break
+					}
+				}
+				for _, k := range keys {
+					t := b.g.Funcs[k]
+					if sync && (t == nil || fateAt(b.funcFates(t), argIdx, t.Decl.Type) != fateSync) {
+						sync = false
+					}
+				}
+			}
+		}
+		if sync {
+			b.addEdge(cur.ID, argID)
+			if lit != nil {
+				if _, seen := b.cm.roles[lit]; !seen {
+					b.cm.roles[lit] = LitInherit
+				}
+			}
+			return
+		}
+		// Async external, conversion (http.HandlerFunc(f)), dynamic callee,
+		// or a callee that stores the value: assume it is stashed.
+		if lit != nil {
+			b.cm.roles[lit] = LitCallback
+		}
+		c := b.newContext("callback", pos, cur.ID, loopDepth > 0)
+		b.addRoot(argID, c.ID)
+	}
+
+	handleCall := func(call *ast.CallExpr, cur *Unit, loopDepth int, isGo bool) {
+		res := b.g.Resolve(info, call)
+		switch {
+		case res.Lit != nil:
+			if lu := b.cm.unitByLit[res.Lit]; lu != nil {
+				if isGo {
+					b.cm.roles[res.Lit] = LitGo
+					c := b.newContext("go", call.Pos(), cur.ID, loopDepth > 0)
+					b.addRoot(lu.ID, c.ID)
+				} else {
+					b.cm.roles[res.Lit] = LitInherit
+					b.addEdge(cur.ID, lu.ID)
+				}
+				walk(res.Lit.Body, lu, 0)
+			}
+		case res.Static != nil || len(res.CHA) > 0:
+			targets := res.CHA
+			if res.Static != nil {
+				targets = []*Func{res.Static}
+			}
+			for _, t := range targets {
+				if isGo {
+					c := b.newContext("go", call.Pos(), cur.ID, loopDepth > 0)
+					b.addRoot(t.Key, c.ID)
+				} else {
+					b.addEdge(cur.ID, t.Key)
+				}
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			walk(sel.X, cur, loopDepth)
+		}
+		for i, a := range call.Args {
+			a2 := ast.Unparen(a)
+			if lit, ok := a2.(*ast.FuncLit); ok {
+				if lu := b.cm.unitByLit[lit]; lu != nil {
+					funcArg(call, res, i, lu.ID, lit, cur, lit.Pos(), loopDepth)
+					walk(lit.Body, lu, 0)
+				}
+				continue
+			}
+			if key, ok := b.funcValue(info, a2); ok {
+				funcArg(call, res, i, key, nil, cur, a2.Pos(), loopDepth)
+				continue
+			}
+			walk(a, cur, loopDepth)
+		}
+	}
+
+	walk = func(n ast.Node, cur *Unit, loopDepth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.GoStmt:
+			handleCall(n.Call, cur, loopDepth, true)
+			return
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				if lu := b.cm.unitByLit[lit]; lu != nil {
+					b.cm.roles[lit] = LitInherit
+					b.addEdge(cur.ID, lu.ID)
+					walk(lit.Body, lu, 0)
+				}
+				for _, a := range n.Call.Args {
+					walk(a, cur, loopDepth)
+				}
+				return
+			}
+			handleCall(n.Call, cur, loopDepth, false)
+			return
+		case *ast.CallExpr:
+			handleCall(n, cur, loopDepth, false)
+			return
+		case *ast.FuncLit:
+			// A literal in a non-call position: assigned to a call-only
+			// local it runs synchronously in its callers; otherwise it is a
+			// callback seam rooting its own context.
+			if lu := b.cm.unitByLit[n]; lu != nil {
+				if callers, ok := localLits[n]; ok {
+					if _, seen := b.cm.roles[n]; !seen {
+						b.cm.roles[n] = LitInherit
+					}
+					for _, from := range callers {
+						b.addEdge(from, lu.ID)
+					}
+				} else if _, seen := b.cm.roles[n]; !seen {
+					b.cm.roles[n] = LitCallback
+					c := b.newContext("callback", n.Pos(), cur.ID, loopDepth > 0)
+					b.addRoot(lu.ID, c.ID)
+				}
+				walk(n.Body, lu, 0)
+			}
+			return
+		case *ast.Ident:
+			if inertExprs[n] {
+				return
+			}
+			if key, ok := b.funcValue(info, n); ok {
+				c := b.newContext("callback", n.Pos(), cur.ID, loopDepth > 0)
+				b.addRoot(key, c.ID)
+			}
+			return
+		case *ast.SelectorExpr:
+			if inertExprs[n] {
+				return
+			}
+			if key, ok := b.funcValue(info, n); ok {
+				c := b.newContext("callback", n.Pos(), cur.ID, loopDepth > 0)
+				b.addRoot(key, c.ID)
+			}
+			walk(n.X, cur, loopDepth)
+			return
+		case *ast.CompositeLit:
+			// A function value stored into an external library's config
+			// struct (types.Config{Error: ...}) is invoked synchronously by
+			// the library during calls made on this goroutine; one stored
+			// into a module struct is a callback seam like any other.
+			sync := b.syncComposite(info, n)
+			for _, el := range n.Elts {
+				v := el
+				if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+					v = kv.Value
+				}
+				v2 := ast.Unparen(v)
+				if sync {
+					if lit, isLit := v2.(*ast.FuncLit); isLit {
+						if lu := b.cm.unitByLit[lit]; lu != nil {
+							if _, seen := b.cm.roles[lit]; !seen {
+								b.cm.roles[lit] = LitInherit
+							}
+							b.addEdge(cur.ID, lu.ID)
+							walk(lit.Body, lu, 0)
+						}
+						continue
+					}
+					if key, isFn := b.funcValue(info, v2); isFn {
+						b.addEdge(cur.ID, key)
+						continue
+					}
+				}
+				walk(v, cur, loopDepth)
+			}
+			return
+		case *ast.ForStmt:
+			walk(n.Init, cur, loopDepth)
+			walk(n.Cond, cur, loopDepth)
+			walk(n.Post, cur, loopDepth+1)
+			walk(n.Body, cur, loopDepth+1)
+			return
+		case *ast.RangeStmt:
+			walk(n.X, cur, loopDepth)
+			walk(n.Body, cur, loopDepth+1)
+			return
+		}
+		// Generic descent: hand interesting children back to walk.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c.(type) {
+			case *ast.GoStmt, *ast.DeferStmt, *ast.CallExpr, *ast.FuncLit,
+				*ast.ForStmt, *ast.RangeStmt, *ast.Ident, *ast.SelectorExpr,
+				*ast.CompositeLit:
+				walk(c, cur, loopDepth)
+				return false
+			}
+			return true
+		})
+	}
+	walk(u.Body, u, 0)
+}
+
+// syncComposite reports whether a composite literal has an external,
+// non-async library type: function values stored into it only run while
+// the library is called from this goroutine.
+func (b *ctxBuilder) syncComposite(info *types.Info, n *ast.CompositeLit) bool {
+	tv, ok := info.Types[n]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || b.modPaths[pkg.Path()] {
+		return false
+	}
+	switch pkg.Path() {
+	case "net/http", "net/rpc", "os/signal", "time", "runtime", "testing":
+		return false
+	}
+	return true
+}
+
+// funcValue resolves an expression used as a value to a module function
+// key (a callback seam candidate). Calls must be intercepted before this.
+func (b *ctxBuilder) funcValue(info *types.Info, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if f := b.g.Funcs[Key(fn)]; f != nil {
+		return f.Key, true
+	}
+	return "", false
+}
+
+// fieldParams flattens a parameter field list into objects in declaration
+// order (nil for unnamed or unresolved entries, which can have no uses).
+func fieldParams(info *types.Info, fl *ast.FieldList) []types.Object {
+	var out []types.Object
+	if fl == nil {
+		return out
+	}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, info.Defs[name])
+		}
+	}
+	return out
+}
+
+// funcFates returns the per-parameter fates of a declared function,
+// fatesOfLit those of a literal unit.
+func (b *ctxBuilder) funcFates(fn *Func) []paramFate {
+	return b.computeFates(fn.Key, fieldParams(fn.Pkg.Info, fn.Decl.Type.Params), fn.Decl.Body, fn.Pkg.Info)
+}
+
+func (b *ctxBuilder) litFates(lu *Unit) []paramFate {
+	return b.computeFates(lu.ID, fieldParams(lu.Pkg.Info, lu.Lit.Type.Params), lu.Body, lu.Pkg.Info)
+}
+
+// fateAt indexes a fate slice, folding variadic tails onto the last slot.
+func fateAt(fates []paramFate, j int, ftype *ast.FuncType) paramFate {
+	if j < len(fates) {
+		return fates[j]
+	}
+	if len(fates) > 0 && ftype != nil && ftype.Params != nil {
+		if fl := ftype.Params.List; len(fl) > 0 {
+			if _, variadic := fl[len(fl)-1].Type.(*ast.Ellipsis); variadic {
+				return fates[len(fates)-1]
+			}
+		}
+	}
+	return fateStored
+}
+
+// argSync reports whether argument j of call is invoked synchronously
+// during the call and never stored: every resolvable module target treats
+// that parameter as fateSync, or the callee is a non-async external
+// (sort.Slice, ast.Inspect, ...).
+func (b *ctxBuilder) argSync(info *types.Info, call *ast.CallExpr, j int) bool {
+	return b.resArgSync(info, b.g.Resolve(info, call), j)
+}
+
+func (b *ctxBuilder) resArgSync(info *types.Info, res Resolution, j int) bool {
+	if res.Lit != nil {
+		if lu := b.cm.unitByLit[res.Lit]; lu != nil {
+			return fateAt(b.litFates(lu), j, res.Lit.Type) == fateSync
+		}
+		return false
+	}
+	targets := res.CHA
+	if res.Static != nil {
+		targets = []*Func{res.Static}
+	}
+	if len(targets) > 0 {
+		for _, t := range targets {
+			if fateAt(b.funcFates(t), j, t.Decl.Type) != fateSync {
+				return false
+			}
+		}
+		return true
+	}
+	return res.Ext != nil && !asyncCallee(res.Ext)
+}
+
+// computeFates classifies every parameter of a unit, transitively: a
+// parameter is fateSync only if each of its uses is a direct call from
+// synchronously reached code, or an argument handed to a callee that
+// itself treats that slot as fateSync. Anything else — stored into a
+// struct, captured by a value-position literal, launched with go, passed
+// to an async or unresolvable callee — is fateStored. The memo is
+// installed optimistically before the walk, so recursion (ascend-style
+// helpers forwarding their callback to themselves) resolves to fateSync
+// unless a genuine escape is found.
+func (b *ctxBuilder) computeFates(id string, params []types.Object, body *ast.BlockStmt, info *types.Info) []paramFate {
+	if f, ok := b.fates[id]; ok {
+		return f
+	}
+	fates := make([]paramFate, len(params))
+	b.fates[id] = fates
+	idx := make(map[types.Object]int)
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		if t := p.Type(); t != nil {
+			if _, isFunc := t.Underlying().(*types.Signature); isFunc {
+				idx[p] = i
+			}
+		}
+	}
+	if len(idx) == 0 {
+		return fates
+	}
+	okUse := make(map[*ast.Ident]bool)
+	var visit func(n ast.Node, sync bool)
+	visitCall := func(call *ast.CallExpr, sync bool) {
+		fun := ast.Unparen(call.Fun)
+		switch fun := fun.(type) {
+		case *ast.Ident:
+			if _, isP := idx[info.Uses[fun]]; isP && sync {
+				okUse[fun] = true
+			}
+		case *ast.FuncLit:
+			// Immediately invoked literal: runs here.
+			visit(fun.Body, sync)
+		case *ast.SelectorExpr:
+			visit(fun.X, sync)
+		}
+		for j, a := range call.Args {
+			a2 := ast.Unparen(a)
+			if lit, isLit := a2.(*ast.FuncLit); isLit {
+				visit(lit.Body, sync && b.argSync(info, call, j))
+				continue
+			}
+			if aid, isIdent := a2.(*ast.Ident); isIdent {
+				if _, isP := idx[info.Uses[aid]]; isP {
+					if sync && b.argSync(info, call, j) {
+						okUse[aid] = true
+					}
+					continue
+				}
+			}
+			visit(a, sync)
+		}
+	}
+	visit = func(n ast.Node, sync bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.GoStmt:
+			// Arguments are evaluated now, but the call runs elsewhere:
+			// nothing inside is a synchronous use.
+			if lit, okL := ast.Unparen(n.Call.Fun).(*ast.FuncLit); okL {
+				visit(lit.Body, false)
+			}
+			for _, a := range n.Call.Args {
+				visit(a, false)
+			}
+			return
+		case *ast.DeferStmt:
+			// Deferred calls run on the same goroutine before return.
+			visitCall(n.Call, sync)
+			return
+		case *ast.CallExpr:
+			visitCall(n, sync)
+			return
+		case *ast.FuncLit:
+			// Value position: invocation time unknown.
+			visit(n.Body, false)
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c.(type) {
+			case *ast.GoStmt, *ast.DeferStmt, *ast.CallExpr, *ast.FuncLit:
+				visit(c, sync)
+				return false
+			}
+			return true
+		})
+	}
+	visit(body, true)
+	ast.Inspect(body, func(n ast.Node) bool {
+		uid, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		if i, isP := idx[info.Uses[uid]]; isP && !okUse[uid] {
+			fates[i] = fateStored
+		}
+		return true
+	})
+	return fates
+}
+
+// propagate flows context sets from roots along edges to a fixpoint.
+func (b *ctxBuilder) propagate() {
+	const ctxCap = 32
+	sets := make(map[string]map[int]bool)
+	for id, roots := range b.roots {
+		s := make(map[int]bool)
+		for _, r := range roots {
+			s[r] = true
+		}
+		sets[id] = s
+	}
+	changed := true
+	for rounds := 0; changed && rounds < 2*len(b.cm.units)+8; rounds++ {
+		changed = false
+		for _, u := range b.cm.units {
+			from := sets[u.ID]
+			if len(from) == 0 {
+				continue
+			}
+			for _, to := range b.edges[u.ID] {
+				dst := sets[to]
+				if dst == nil {
+					dst = make(map[int]bool)
+					sets[to] = dst
+				}
+				for id := range from {
+					if !dst[id] && len(dst) < ctxCap {
+						dst[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for id, s := range sets {
+		ids := make([]int, 0, len(s))
+		for c := range s {
+			ids = append(ids, c)
+		}
+		sort.Ints(ids)
+		b.cm.ctxs[id] = ids
+	}
+}
+
+// multiplicity marks contexts that can run more than one instance at
+// once: spawned inside a loop, or spawned by a unit that itself runs in
+// several contexts (or in a Multi context).
+func (b *ctxBuilder) multiplicity() {
+	changed := true
+	for rounds := 0; changed && rounds < len(b.cm.Contexts)+2; rounds++ {
+		changed = false
+		for _, c := range b.cm.Contexts[1:] {
+			if c.Multi {
+				continue
+			}
+			multi := b.loopSpawn[c.ID]
+			sp := b.spawner[c.ID]
+			ids := b.cm.ctxs[sp]
+			if len(ids) > 1 {
+				multi = true
+			}
+			for _, id := range ids {
+				if b.cm.Contexts[id].Multi {
+					multi = true
+				}
+			}
+			if multi {
+				c.Multi = true
+				changed = true
+			}
+		}
+	}
+}
+
+// directLits collects the function literals directly inside body, skipping
+// nested literals.
+func directLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+			return false
+		}
+		return true
+	})
+	return out
+}

@@ -596,40 +596,17 @@ func deref(t types.Type) types.Type {
 	return t
 }
 
-// lockClass names the lock denoted by a mutex expression. Struct fields are
-// classed by owning named type + field name (every instance shares one
-// class — what lock-order analysis wants); package-level and local
-// variables by their object.
+// lockClass names the lock denoted by a mutex expression via the shared
+// class scheme (lockset.go): struct fields by owning named type + field
+// name (every instance shares one class — what lock-order analysis wants),
+// package-level and local variables by their object.
 func (w *dlWalk) lockClass(e ast.Expr) (string, bool) {
-	e = ast.Unparen(e)
-	switch e := e.(type) {
-	case *ast.SelectorExpr:
-		tv, ok := w.info.Types[e.X]
-		if !ok {
-			return "", false
-		}
-		named, ok := deref(tv.Type).(*types.Named)
-		if !ok {
-			return "", false
-		}
-		class := named.String() + "." + e.Sel.Name
-		w.c.display[class] = named.Obj().Name() + "." + e.Sel.Name
-		return class, true
-	case *ast.Ident:
-		obj := w.info.ObjectOf(e)
-		if obj == nil {
-			return "", false
-		}
-		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
-			class := obj.Pkg().Path() + "." + obj.Name()
-			w.c.display[class] = obj.Name()
-			return class, true
-		}
-		class := fmt.Sprintf("%s@%v", obj.Name(), w.c.fset.Position(obj.Pos()))
-		w.c.display[class] = obj.Name()
-		return class, true
+	class, display, ok := mutexClassOf(w.info, w.c.fset, e)
+	if !ok {
+		return "", false
 	}
-	return "", false
+	w.c.display[class] = display
+	return class, true
 }
 
 func (c *dlChecker) noteDisplay(class string) {

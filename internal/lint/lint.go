@@ -142,6 +142,7 @@ var moduleAnalyzers = []*moduleAnalyzer{
 	releasecheckAnalyzer,
 	borrowcheckAnalyzer,
 	wirecheckAnalyzer,
+	racecheckAnalyzer,
 }
 
 // moduleContext is the shared state handed to module analyzers: the loaded
@@ -215,6 +216,19 @@ func checkOnly(only []string) (map[string]bool, error) {
 		sel[name] = true
 	}
 	return sel, nil
+}
+
+// AnalyzerDescriptions maps each analyzer name to its one-line doc (for
+// tooling output such as SARIF rule metadata).
+func AnalyzerDescriptions() map[string]string {
+	out := make(map[string]string)
+	for _, a := range analyzers {
+		out[a.name] = a.doc
+	}
+	for _, a := range moduleAnalyzers {
+		out[a.name] = a.doc
+	}
+	return out
 }
 
 // AnalyzerDocs returns "name: doc" lines for -help output.

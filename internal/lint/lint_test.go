@@ -99,7 +99,7 @@ func (w expectation) matches(f Finding) bool {
 // the findings its // want comments declare: every want is hit, and every
 // finding is wanted (no false positives inside the fixture either).
 func TestSeededViolations(t *testing.T) {
-	for _, name := range []string{"lockbad", "pairbad", "errbad", "atomicbad", "deadlockbad", "leakbad", "allocbad", "flowbad", "borrowbad", "wirebad"} {
+	for _, name := range []string{"lockbad", "pairbad", "errbad", "atomicbad", "deadlockbad", "leakbad", "allocbad", "flowbad", "borrowbad", "wirebad", "racebad"} {
 		t.Run(name, func(t *testing.T) {
 			wants := parseWants(t, name)
 			if len(wants) == 0 {
@@ -273,5 +273,86 @@ func TestCLIJSON(t *testing.T) {
 	}
 	if !sawDeadlock {
 		t.Errorf("no deadlockcheck finding among %d JSON lines", len(lines))
+	}
+}
+
+// TestCLISARIF runs the binary in -sarif mode over a seeded fixture and
+// checks the log parses as SARIF 2.1.0 with a racecheck rule and results
+// carrying physical locations.
+func TestCLISARIF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run in -short mode")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/godiva-lint", "-sarif", "./internal/lint/testdata/src/racebad")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 with findings, got err=%v\n%s", err, out)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "godiva-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	sawRule := false
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "racecheck" {
+			sawRule = true
+		}
+	}
+	if !sawRule {
+		t.Error("no racecheck rule in driver metadata")
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, res := range run.Results {
+		if len(res.Locations) != 1 {
+			t.Fatalf("result without location: %+v", res)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine == 0 {
+			t.Errorf("incomplete location: %+v", loc)
+		}
+		if filepath.IsAbs(loc.ArtifactLocation.URI) {
+			t.Errorf("artifact URI not module-relative: %s", loc.ArtifactLocation.URI)
+		}
 	}
 }

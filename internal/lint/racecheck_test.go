@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInferGuards runs racecheck's guard-inference mode over the
+// guardinfer fixture: db.count is consistently locked but unannotated, so
+// inference must suggest the annotation; db.epoch already carries one and
+// must not be re-suggested.
+func TestInferGuards(t *testing.T) {
+	m := testModule(t)
+	pkg, err := m.LintPackage(filepath.Join("testdata", "src", "guardinfer"))
+	if err != nil {
+		t.Fatalf("LintPackage(guardinfer): %v", err)
+	}
+	mc := newModuleContext([]*Package{pkg})
+	findings := newRaceChecker(mc).run(true)
+	if len(findings) != 1 {
+		t.Fatalf("got %d suggestions, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "racecheck" || !strings.Contains(f.Message, `add a "guarded by mu" annotation`) {
+		t.Errorf("unexpected suggestion: %s", f)
+	}
+	if !strings.Contains(f.Message, "db.count") {
+		t.Errorf("suggestion names the wrong field: %s", f)
+	}
+}
+
+// TestGuardInferFixtureCleanInRaceMode asserts the guardinfer fixture
+// produces no findings in normal race mode: a consistent guard is the
+// conforming shape.
+func TestGuardInferFixtureCleanInRaceMode(t *testing.T) {
+	for _, f := range lintFixture(t, "guardinfer") {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestSuiteDeterminism loads the module twice from scratch, runs the full
+// suite (per-package and module analyzers) over every violation fixture,
+// and requires the two rendered finding lists to be byte-identical: map
+// iteration anywhere in an analyzer or the fixpoint drivers must not leak
+// into output order or content.
+func TestSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double module load in -short mode")
+	}
+	fixtures := []string{
+		"lockbad", "pairbad", "errbad", "atomicbad", "deadlockbad",
+		"leakbad", "allocbad", "flowbad", "borrowbad", "wirebad", "racebad",
+	}
+	render := func() string {
+		m, err := LoadModule("../..", []string{"godivainvariants"})
+		if err != nil {
+			t.Fatalf("LoadModule: %v", err)
+		}
+		var pkgs []*Package
+		for _, name := range fixtures {
+			pkg, err := m.LintPackage(filepath.Join("testdata", "src", name))
+			if err != nil {
+				t.Fatalf("LintPackage(%s): %v", name, err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		var sb strings.Builder
+		for _, f := range runPackages(pkgs, nil) {
+			fmt.Fprintf(&sb, "%s\n", f)
+		}
+		return sb.String()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Errorf("suite output differs between identical runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	if first == "" {
+		t.Fatal("determinism check ran against empty output")
+	}
+}

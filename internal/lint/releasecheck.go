@@ -367,6 +367,28 @@ func (w *rcWalk) assign(n *ast.AssignStmt, s *rcState) {
 	for _, rhs := range n.Rhs {
 		w.scan(rhs, s, bound, false)
 	}
+	// Reassigning an acquire's error variable severs the pin's error
+	// refinement: a later `err != nil` branch speaks about the new value,
+	// not about whether the acquire succeeded, so it must no longer kill
+	// the pin (copy-on-write — pin structs are shared across states).
+	for _, l := range n.Lhs {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := identObj(w.info, id)
+		if obj == nil {
+			continue
+		}
+		for site, pin := range s.pins {
+			if pin.errObj != obj || (bound != nil && site == bound.Pos()) {
+				continue
+			}
+			np := *pin
+			np.errObj = nil
+			s.pins[site] = &np
+		}
+	}
 	// Whole-pin right-hand sides: a plain local rebind aliases, anything
 	// else is a store that transfers ownership.
 	for i, rhs := range n.Rhs {

@@ -106,3 +106,38 @@ func drainAll(fps []*FilePayload) int {
 	}
 	return total
 }
+
+func (c *Client) push(path string) error { return nil }
+
+// reusedErrLeak reassigns err after the acquire: the second err != nil
+// return says nothing about whether the fetch succeeded, so the payload
+// leaks there. Before the severing fix the stale error refinement killed
+// the pin on that edge and masked the leak.
+func reusedErrLeak(c *Client, path string) error {
+	fp, err := c.FetchFile(path) // want releasecheck `fetched payload acquired with FetchFile leaks on the return at line 123`
+	if err != nil {
+		return err
+	}
+	err = c.push(path)
+	if err != nil {
+		return err
+	}
+	fp.Recycle()
+	return nil
+}
+
+// reusedErrClean is the conforming reuse shape: deferred release first,
+// then err reassigned — the severed refinement must not produce a false
+// positive.
+func reusedErrClean(c *Client, path string) error {
+	fp, err := c.FetchFile(path)
+	if err != nil {
+		return err
+	}
+	defer fp.Recycle()
+	err = c.push(path)
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package guardinfer seeds a consistently locked but unannotated field for
+// racecheck's guard-inference mode: db.count is guarded by db.mu at every
+// access across two goroutine contexts, mirroring core.DB's tree fields
+// with the "guarded by" annotations stripped. Inference must suggest the
+// annotation; the normal race mode must stay silent (consistent guard).
+// The already-annotated field must not be re-suggested.
+package guardinfer
+
+import "sync"
+
+type db struct {
+	mu    sync.Mutex
+	count int
+	// epoch is already annotated — guarded by mu — so inference skips it.
+	epoch int
+}
+
+var shared *db
+
+func main() {
+	d := &db{}
+	shared = d
+	go func() {
+		d.mu.Lock()
+		d.count++
+		d.epoch++
+		d.mu.Unlock()
+	}()
+	d.mu.Lock()
+	d.count++
+	d.epoch++
+	d.mu.Unlock()
+}

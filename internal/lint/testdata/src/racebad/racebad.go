@@ -1,0 +1,127 @@
+// Package racebad seeds deliberate data races for the racecheck analyzer:
+// an unguarded struct field written by a goroutine and its spawner, a
+// closure-captured counter mutated from a `go` loop, and a field locked in
+// one context but not the other. The conforming shapes — initialize before
+// spawn, hand the object to the goroutine, atomic-only access, consistent
+// locking — appear too and must stay silent.
+package racebad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n int
+}
+
+type store struct {
+	mu   sync.Mutex
+	hits int
+}
+
+type gauge struct {
+	v int64
+}
+
+// cstore is consistent()'s own type: classes are per type+field, so the
+// conforming shape must not share a class with the seeded violation.
+type cstore struct {
+	mu   sync.Mutex
+	hits int
+}
+
+// Package-level escape hatches: storing through them makes the pointee
+// reachable beyond the creating frame, so ownership is lost.
+var (
+	sink      *counter
+	sharedSt  *store
+	sharedGau *gauge
+	sharedCst *cstore
+	total     int
+)
+
+func main() {
+	unguardedField()
+	closureCounter()
+	inconsistentLock()
+	initThenHandOff()
+	atomicOnly()
+	consistent()
+}
+
+// unguardedField escapes a counter, then writes the same field from the
+// spawned goroutine and from the spawner with no lock anywhere.
+func unguardedField() {
+	c := &counter{}
+	sink = c
+	go func() {
+		c.n++ // want racecheck `counter.n is written with no consistently held lock`
+	}()
+	c.n++
+}
+
+// closureCounter mutates a captured local from a goroutine spawned in a
+// loop: two instances of the same body race with each other.
+func closureCounter() {
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			n++ // want racecheck `is written with no consistently held lock`
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	total = n
+}
+
+// inconsistentLock guards store.hits in the goroutine but not in the
+// spawner: the lockset intersection over writes is empty.
+func inconsistentLock() {
+	s := &store{}
+	sharedSt = s
+	s.hits++ // want racecheck `store.hits is written with no consistently held lock`
+	go func() {
+		s.mu.Lock()
+		s.hits++
+		s.mu.Unlock()
+	}()
+}
+
+// initThenHandOff is the conforming init-then-give-away idiom: the write
+// happens before the spawn while the object is still private, and the
+// spawner never touches it afterwards. Silent.
+func initThenHandOff() {
+	c := &counter{}
+	c.n = 1
+	go func() {
+		c.n++
+	}()
+}
+
+// atomicOnly shares a gauge across goroutines but touches it only through
+// sync/atomic. Silent.
+func atomicOnly() {
+	g := &gauge{}
+	sharedGau = g
+	go func() {
+		atomic.AddInt64(&g.v, 1)
+	}()
+	atomic.AddInt64(&g.v, 1)
+}
+
+// consistent locks the same mutex around every access. Silent.
+func consistent() {
+	s := &cstore{}
+	sharedCst = s
+	go func() {
+		s.mu.Lock()
+		s.hits++
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}

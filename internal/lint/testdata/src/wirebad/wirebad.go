@@ -57,3 +57,28 @@ func decodeChecked(b []byte) []byte {
 	}
 	return make([]byte, n)
 }
+
+type header struct {
+	Count uint32
+	Flags uint32
+}
+
+// decodeIntoField parks the wire length in a struct field before sizing
+// the allocation: field stores must carry taint like locals do.
+func decodeIntoField(b []byte) []uint64 {
+	var h header
+	h.Count = binary.LittleEndian.Uint32(b)
+	h.Flags = binary.LittleEndian.Uint32(b[4:])
+	return make([]uint64, h.Count) // want wirecheck `make sized by wire-tainted length h.Count`
+}
+
+// decodeFieldChecked is clean: the comparison mentions the field, so the
+// taint downgrades to bounded on both edges.
+func decodeFieldChecked(b []byte) []uint64 {
+	var h header
+	h.Count = binary.LittleEndian.Uint32(b)
+	if h.Count > maxFrame {
+		return nil
+	}
+	return make([]uint64, h.Count)
+}

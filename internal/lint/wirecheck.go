@@ -22,9 +22,11 @@ import (
 // test that matches the readFrameBuf/dec.count idiom). Interprocedural
 // summaries over the call graph record which module functions return
 // tainted values on any exit, so `n := d.u16()` is tainted while
-// `n := d.count(8)` (internally bounded) is not. Struct fields, map/slice
-// loads and parameters start clean: cross-field taint is a documented
-// blind spot.
+// `n := d.count(8)` (internally bounded) is not. Struct-field stores carry
+// taint by field identity (req.Count = dec.u32() taints later req.Count
+// loads in the same function — instance-insensitive); map/slice loads,
+// parameters, and fields never assigned in the function start clean:
+// cross-function field taint is a documented blind spot.
 var wirecheckAnalyzer = &moduleAnalyzer{
 	name: "wirecheck",
 	doc:  "wire-decoded lengths are bound-checked before sizing allocations",
@@ -133,11 +135,7 @@ func (w *wtWalk) transfer(n ast.Node, st dfState, record bool) {
 	s := st.(*wtState)
 	if a, ok := n.(*ast.AssignStmt); ok && len(a.Lhs) == len(a.Rhs) {
 		for i, lhs := range a.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok || id.Name == "_" {
-				continue
-			}
-			obj := identObj(w.info, id)
+			obj := w.lhsObj(lhs)
 			if obj == nil {
 				continue
 			}
@@ -152,11 +150,7 @@ func (w *wtWalk) transfer(n ast.Node, st dfState, record bool) {
 		// the callee returns tainted.
 		lvl := w.taintOf(a.Rhs[0], s)
 		for _, lhs := range a.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok || id.Name == "_" {
-				continue
-			}
-			obj := identObj(w.info, id)
+			obj := w.lhsObj(lhs)
 			if obj == nil || isErrorType(obj.Type()) {
 				continue
 			}
@@ -173,6 +167,27 @@ func (w *wtWalk) transfer(n ast.Node, st dfState, record bool) {
 			w.checkSink(call, s, record)
 		})
 	}
+}
+
+// lhsObj resolves an assignment target to the object carrying its taint: a
+// local/package variable, or the field *types.Var for a selector store
+// (req.Count = dec.u32() taints the Count field — flow-sensitive within
+// the function, instance-insensitive across receivers).
+func (w *wtWalk) lhsObj(lhs ast.Expr) types.Object {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		return identObj(w.info, e)
+	case *ast.SelectorExpr:
+		if sl, ok := w.info.Selections[e]; ok && sl.Kind() == types.FieldVal {
+			if v, ok := sl.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	return nil
 }
 
 // checkSink flags make() calls sized by still-tainted lengths.
@@ -215,6 +230,15 @@ func (w *wtWalk) taintOf(e ast.Expr, s *wtState) wtLevel {
 			return y
 		}
 		return x
+	case *ast.SelectorExpr:
+		// A struct-field load carries the field's taint (set by a selector
+		// store in this function; fields not assigned here stay clean).
+		if sl, ok := w.info.Selections[e]; ok && sl.Kind() == types.FieldVal {
+			if v, ok := sl.Obj().(*types.Var); ok {
+				return s.t[v]
+			}
+		}
+		return wtClean
 	case *ast.CallExpr:
 		// A conversion carries its operand's taint.
 		if tv, ok := w.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {

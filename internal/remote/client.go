@@ -506,8 +506,8 @@ func (c *Client) getConn() (*pooledConn, error) {
 
 // putConn returns a healthy connection to the idle pool.
 func (c *Client) putConn(pc *pooledConn) {
-	pc.last = time.Now()
 	c.mu.Lock()
+	pc.last = time.Now()
 	if c.closed {
 		c.mu.Unlock()
 		pc.conn.Close()

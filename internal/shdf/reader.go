@@ -91,7 +91,11 @@ func OpenMapped(path string) (*File, error) {
 }
 
 // Mapped reports whether the file's contents are memory-mapped.
-func (f *File) Mapped() bool { return f.mapping != nil }
+func (f *File) Mapped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mapping != nil
+}
 
 // NewFile opens an SHDF image held by an io.ReaderAt of the given size.
 func NewFile(r io.ReaderAt, size int64) (*File, error) {
@@ -125,12 +129,13 @@ func (f *File) Close() error {
 		// f.r aliased the mapping; it must not be read again.
 		f.r = closedReaderAt{}
 	}
+	osf := f.f
+	f.f = nil
 	f.mu.Unlock()
-	if f.f != nil {
-		if cerr := f.f.Close(); err == nil {
+	if osf != nil {
+		if cerr := osf.Close(); err == nil {
 			err = cerr
 		}
-		f.f = nil
 	}
 	return err
 }

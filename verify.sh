@@ -6,12 +6,19 @@
 #   vet         go vet over the whole module
 #   build       everything compiles
 #   lint        godiva-lint (lockcheck/paircheck/errcheck/atomiccheck plus
-#               the interprocedural deadlockcheck/leakcheck/alloccheck and
-#               the flow-sensitive releasecheck/borrowcheck/wirecheck)
-#               reports zero findings; non-zero findings fail the gate
+#               the interprocedural deadlockcheck/leakcheck/alloccheck, the
+#               flow-sensitive releasecheck/borrowcheck/wirecheck, and the
+#               lockset race analysis racecheck) reports zero findings;
+#               non-zero findings fail the gate, as does the suite running
+#               longer than the 120s wall-clock budget (analyzer cost
+#               regressions must surface here, not in every later CI run).
+#               The run also writes lint.sarif for code-scanning upload.
 #   dataflow    the flow-sensitive analyzers alone, in -json mode; the
 #               machine-readable findings land in lint-dataflow.json (CI
 #               uploads it as an artifact) and any finding fails the gate
+#   racecheck   the lockset race analyzer alone, in -json mode; findings
+#               land in lint-racecheck.json (CI artifact) and any finding
+#               fails the gate
 #   test        full test suite, caching disabled (-count=1) so the noalloc
 #               AllocsPerRun gates re-measure on every run
 #   benchmem    core query benchmarks under -benchmem; any benchmark
@@ -104,11 +111,42 @@ check_dataflow() {
     return "$rc"
 }
 
+check_racecheck() {
+    go run ./cmd/godiva-lint -json -only racecheck \
+        -tags godivainvariants ./... >lint-racecheck.json
+    rc=$?
+    echo "racecheck: $(wc -l <lint-racecheck.json) finding(s) in lint-racecheck.json"
+    return "$rc"
+}
+
+check_lint() {
+    # The full suite must stay clean AND fast: a wall-clock budget catches
+    # analyzer cost regressions (a fixpoint that stops converging shows up
+    # as minutes, not findings). The same run emits the SARIF log CI
+    # uploads for code scanning.
+    budget="${VERIFY_LINTBUDGET:-120}"
+    lint_start=$(date +%s)
+    go run ./cmd/godiva-lint -sarif -tags godivainvariants ./... >lint.sarif
+    rc=$?
+    elapsed=$(($(date +%s) - lint_start))
+    echo "lint: suite took ${elapsed}s (budget ${budget}s), SARIF in lint.sarif"
+    if [ "$rc" -ne 0 ]; then
+        # Re-run in plain mode so the findings land in the log.
+        go run ./cmd/godiva-lint -tags godivainvariants ./...
+        return "$rc"
+    fi
+    if [ "$elapsed" -gt "$budget" ]; then
+        echo "lint: suite exceeded the ${budget}s wall-clock budget" >&2
+        return 1
+    fi
+}
+
 run_stage fmt check_gofmt
 run_stage vet go vet ./...
 run_stage build go build ./...
-run_stage lint go run ./cmd/godiva-lint -tags godivainvariants ./...
+run_stage lint check_lint
 run_stage dataflow check_dataflow
+run_stage racecheck check_racecheck
 run_stage test go test -count=1 ./...
 run_stage benchmem check_benchmem
 run_stage race-core go test -race -count=1 ./internal/core/...
@@ -122,7 +160,7 @@ run_stage fuzz go test -fuzz=FuzzReader -fuzztime="${VERIFY_FUZZTIME:-10s}" -run
 if [ -n "$only_stage" ]; then
     if [ "$stage_seen" -eq 0 ]; then
         echo "verify.sh: unknown stage \"$only_stage\"" >&2
-        echo "stages: fmt vet build lint dataflow test benchmem race-core race-remote race-platform invariants push batch fuzz" >&2
+        echo "stages: fmt vet build lint dataflow racecheck test benchmem race-core race-remote race-platform invariants push batch fuzz" >&2
         exit 2
     fi
     echo "verify.sh: stage $only_stage passed"
